@@ -1,0 +1,94 @@
+"""Fig. 2: the carrier's *future* services and network layers.
+
+The future stack replaces SONET/W-DCS with the OTN layer: guaranteed-
+bandwidth transport is categorized by rate — below 1 Gbps rides the IP
+layer as EVCs, 1 Gbps up to the wavelength rate rides the OTN
+sub-wavelength layer, and wavelength-rate private lines ride DWDM
+directly.  The OTN layer switches at ODU0 (1.25 Gbps) and packs
+wavelengths more efficiently than muxponders.
+"""
+
+from benchmarks.harness import print_rows
+from repro.core.connection import ConnectionKind
+from repro.core.controller import decompose_rate
+from repro.facade import build_griphon_testbed
+from repro.units import GBPS, ODU_LEVELS, format_rate, gbps, mbps
+
+
+def categorize(rate_bps, wavelength_rates):
+    """The Fig. 2 service category for a guaranteed-bandwidth rate."""
+    if rate_bps < 1 * GBPS:
+        return "IP layer (EVC)"
+    waves, circuits = decompose_rate(rate_bps, wavelength_rates)
+    if waves and circuits:
+        return "composite (DWDM + OTN)"
+    if waves:
+        return "DWDM layer (wavelength private line)"
+    return "OTN layer (Ethernet private line)"
+
+
+def run_categorization():
+    net = build_griphon_testbed(seed=5)
+    rates = net.controller.wavelength_rates()
+    sample_rates = [mbps(200), gbps(1), gbps(4), gbps(10), gbps(12), gbps(40)]
+    return {rate: categorize(rate, rates) for rate in sample_rates}
+
+
+def test_fig2_service_categorization(benchmark):
+    mapping = benchmark.pedantic(run_categorization, rounds=1, iterations=1)
+    rows = [["guaranteed-bandwidth rate", "future layer"]]
+    for rate, layer in mapping.items():
+        rows.append([format_rate(rate), layer])
+    print_rows("Fig. 2: future services -> network layers", rows)
+    assert mapping[mbps(200)] == "IP layer (EVC)"
+    assert mapping[gbps(1)] == "OTN layer (Ethernet private line)"
+    assert mapping[gbps(4)] == "OTN layer (Ethernet private line)"
+    assert mapping[gbps(10)] == "DWDM layer (wavelength private line)"
+    assert mapping[gbps(12)] == "composite (DWDM + OTN)"
+    assert mapping[gbps(40)] == "DWDM layer (wavelength private line)"
+
+
+def test_fig2_odu0_crossconnect_granularity(benchmark):
+    """The OTN layer cross-connects at ODU0 = 1.25 Gbps carrying 1 GbE."""
+
+    def run():
+        net = build_griphon_testbed(seed=6, latency_cv=0.0)
+        svc = net.service_for("csp")
+        conn = svc.request_connection("PREMISES-A", "PREMISES-B", 1)
+        net.run()
+        circuit = net.inventory.circuits[conn.circuit_ids[0]]
+        return conn, circuit
+
+    conn, circuit = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert conn.kind is ConnectionKind.SUBWAVELENGTH
+    assert circuit.level.name == "ODU0"
+    assert circuit.level.rate_bps == 1.25 * GBPS
+
+
+def test_fig2_otn_subsecond_restoration(benchmark):
+    """Fig. 2's OTN layer provides sub-second shared-mesh restoration
+    'similar to today's SONET layer'."""
+
+    def run():
+        net = build_griphon_testbed(seed=7, latency_cv=0.0)
+        svc = net.service_for("csp")
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 1)
+        net.run()
+        circuit = net.inventory.circuits[conn.circuit_ids[0]]
+        line = net.inventory.otn_lines[circuit.line_ids[0]]
+        lightpath_id = net.controller._line_lightpath[line.line_id]
+        path = net.inventory.lightpaths[lightpath_id].path
+        net.controller.cut_link(path[0], path[1])
+        net.run()
+        return conn
+
+    conn = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_rows(
+        "Fig. 2: OTN shared-mesh restoration",
+        [["circuit outage (s)"], [f"{conn.total_outage_s:.3f}"]],
+    )
+    assert 0 < conn.total_outage_s < 1.0
+
+    # ODU hierarchy sanity straight out of G.709.
+    assert ODU_LEVELS["ODU0"].tributary_slots == 1
+    assert ODU_LEVELS["ODU2"].tributary_slots == 8

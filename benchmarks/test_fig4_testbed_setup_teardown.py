@@ -1,0 +1,128 @@
+"""Fig. 4 / §3: the GRIPhoN testbed and its headline measurements.
+
+The testbed demonstration: wavelength connection establishment in
+60-70 seconds ("orders of magnitude better than today's provisioning
+time in the DWDM layer"), teardown in about 10 seconds, and a VoD
+content-replication scenario across the three customer premises.
+"""
+
+import statistics
+
+from benchmarks.harness import print_rows
+from repro.core.connection import ConnectionState
+from repro.facade import build_griphon_testbed
+from repro.topo.testbed import TESTBED_PREMISES
+from repro.units import WEEK, terabytes, transfer_time
+
+
+def run_setup_teardown(iterations=10):
+    setups, teardowns = [], []
+    for i in range(iterations):
+        net = build_griphon_testbed(seed=100 + i)
+        svc = net.service_for("csp")
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        assert conn.state is ConnectionState.UP
+        setups.append(conn.setup_duration)
+        start = net.sim.now
+        svc.teardown_connection(conn.connection_id)
+        net.run()
+        teardowns.append(net.sim.now - start)
+    return setups, teardowns
+
+
+def test_fig4_setup_60_to_70s_teardown_10s(benchmark):
+    setups, teardowns = benchmark.pedantic(
+        run_setup_teardown, rounds=1, iterations=1
+    )
+    rows = [
+        ["measurement", "paper", "measured mean (s)"],
+        ["wavelength establishment", "60-70 s", f"{statistics.fmean(setups):.2f}"],
+        ["wavelength teardown", "~10 s", f"{statistics.fmean(teardowns):.2f}"],
+    ]
+    print_rows("Fig. 4 testbed: setup and teardown", rows)
+    benchmark.extra_info["setup_mean_s"] = statistics.fmean(setups)
+    benchmark.extra_info["teardown_mean_s"] = statistics.fmean(teardowns)
+    # "ranges from 60 to 70 seconds" for the testbed's own paths; our
+    # premises-attached paths add the FXC legs, so allow a little slack.
+    assert 58 <= statistics.fmean(setups) <= 75
+    assert all(55 <= s <= 80 for s in setups)
+    # "Tearing down a wavelength connection takes around 10 seconds."
+    assert 8 <= statistics.fmean(teardowns) <= 15
+    # "orders of magnitude better than today's provisioning time".
+    assert statistics.fmean(setups) < (2 * WEEK) / 1000
+
+
+def test_fig4_forty_gig_upgrade_path(benchmark):
+    """The testbed ran 'currently at 10 Gbps, with plans to go to
+    40 Gbps'.  Establishment time is set by EMS/optical steps, not line
+    rate, so a 40G wavelength comes up in the same 60-70 s band."""
+
+    def run():
+        times = {}
+        for rate in (10, 40):
+            net = build_griphon_testbed(seed=150, latency_cv=0.0)
+            svc = net.service_for("csp")
+            conn = svc.request_connection("PREMISES-A", "PREMISES-C", rate)
+            net.run()
+            assert conn.state is ConnectionState.UP
+            times[rate] = conn.setup_duration
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_rows(
+        "Fig. 4: establishment time by line rate",
+        [
+            ["line rate", "establishment (s)"],
+            ["10 Gbps", f"{times[10]:.2f}"],
+            ["40 Gbps", f"{times[40]:.2f}"],
+        ],
+    )
+    assert 58 <= times[40] <= 75
+    # Rate independence: the 40G setup is within a second of the 10G one.
+    assert abs(times[40] - times[10]) < 1.0
+
+
+def run_vod_replication():
+    """The testbed's application: VoD content replication across the
+    three premises.  Replicate a 40 TB library from PREMISES-A to both
+    other sites over 10G connections, then release the capacity."""
+    net = build_griphon_testbed(seed=200, latency_cv=0.0)
+    svc = net.service_for("vod-provider")
+    library_bits = terabytes(40)
+    destinations = [p for p in TESTBED_PREMISES if p != "PREMISES-A"]
+    connections = [
+        svc.request_connection("PREMISES-A", dst, 10) for dst in destinations
+    ]
+    net.run()
+    events = []
+    for conn in connections:
+        assert conn.state is ConnectionState.UP
+        duration = transfer_time(library_bits, conn.rate_bps)
+        net.sim.schedule(
+            duration,
+            lambda c=conn: events.append(
+                svc.teardown_connection(c.connection_id)
+            ),
+        )
+    net.run()
+    return net, connections, library_bits
+
+
+def test_fig4_vod_replication_scenario(benchmark):
+    net, connections, library_bits = benchmark.pedantic(
+        run_vod_replication, rounds=1, iterations=1
+    )
+    hours = net.sim.now / 3600
+    print_rows(
+        "Fig. 4: VoD replication A -> {B, C}",
+        [
+            ["replicas", "library", "wall-clock (h)"],
+            [str(len(connections)), "40 TB", f"{hours:.2f}"],
+        ],
+    )
+    assert all(c.state is ConnectionState.RELEASED for c in connections)
+    # 40 TB at 10G is ~8.9 h; both replicas run in parallel.
+    assert 8.5 <= hours <= 10.0
+    # All capacity returned: no lightpaths remain.
+    assert net.inventory.lightpaths == {}

@@ -1,0 +1,142 @@
+"""Table 1: BoD service vision — today's reality vs the GRIPhoN proposal.
+
+The paper's Table 1 is qualitative; we quantify each of its four rows by
+actually running both worlds:
+
+* provisioning time: manual weeks vs automated ~1 minute;
+* rate configurability: today's <= 622 Mbps circuit BoD vs GRIPhoN's
+  1 G - 40 G range on one platform;
+* outage time after a fiber cut: manual 4-12 h, 1+1 ~50 ms (at 2x
+  cost), GRIPhoN automated re-provisioning ~1 minute;
+* maintenance impact: uncoordinated window vs bridge-and-roll ~50 ms.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.harness import print_rows
+from repro.baselines import ManualOperations
+from repro.core.connection import ConnectionState
+from repro.facade import build_griphon_testbed
+from repro.sim import RandomStreams
+from repro.units import HOUR, MINUTE, WEEK, format_duration, mbps
+
+
+def run_comparison():
+    streams = RandomStreams(21)
+    manual = ManualOperations(streams)
+    results = {}
+
+    # Row 1+2: provisioning / rate range.
+    results["manual_provisioning_s"] = statistics.fmean(
+        manual.provisioning_time() for _ in range(10)
+    )
+    setups = []
+    for i in range(5):
+        net = build_griphon_testbed(seed=50 + i)
+        svc = net.service_for("csp")
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        assert conn.state is ConnectionState.UP
+        setups.append(conn.setup_duration)
+    results["griphon_provisioning_s"] = statistics.fmean(setups)
+    results["today_max_bod_rate_bps"] = mbps(622)
+
+    # GRIPhoN rate range: smallest sub-wavelength to largest wavelength.
+    net = build_griphon_testbed(seed=60)
+    rates = net.controller.wavelength_rates()
+    results["griphon_min_rate_bps"] = 1e9
+    results["griphon_max_rate_bps"] = max(rates)
+
+    # Row 3: outage after a fiber cut.
+    results["manual_restore_s"] = statistics.fmean(
+        manual.restoration_time() for _ in range(10)
+    )
+    outages = []
+    for i in range(5):
+        net = build_griphon_testbed(seed=70 + i)
+        svc = net.service_for("csp")
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
+        net.controller.cut_link(lightpath.path[0], lightpath.path[1])
+        net.run()
+        assert conn.state is ConnectionState.UP
+        outages.append(conn.total_outage_s)
+    results["griphon_restore_s"] = statistics.fmean(outages)
+    results["one_plus_one_restore_s"] = 0.050
+
+    # Row 4: maintenance impact.
+    results["manual_maintenance_impact_s"] = manual.maintenance_impact(4 * HOUR)
+    hits = []
+    for i in range(5):
+        net = build_griphon_testbed(seed=80 + i)
+        svc = net.service_for("csp")
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
+        net.maintenance.schedule(
+            lightpath.path[0], lightpath.path[1], start_in=900,
+            duration=4 * HOUR,
+        )
+        net.run()
+        hits.append(conn.total_outage_s)
+    results["griphon_maintenance_impact_s"] = statistics.fmean(hits)
+    return results
+
+
+def test_table1_service_comparison(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = [
+        ["dimension", "today's reality", "GRIPhoN"],
+        [
+            "provisioning time",
+            format_duration(results["manual_provisioning_s"]),
+            format_duration(results["griphon_provisioning_s"]),
+        ],
+        [
+            "configurable rates",
+            "<= 622 Mbps",
+            "1 Gbps - 40 Gbps (one platform)",
+        ],
+        [
+            "outage after fiber cut",
+            format_duration(results["manual_restore_s"]) + " (manual)",
+            format_duration(results["griphon_restore_s"])
+            + " (auto; 1+1: "
+            + format_duration(results["one_plus_one_restore_s"])
+            + " at 2x cost)",
+        ],
+        [
+            "maintenance impact",
+            format_duration(results["manual_maintenance_impact_s"]),
+            format_duration(results["griphon_maintenance_impact_s"]),
+        ],
+    ]
+    print_rows("Table 1: service vision vs reality vs GRIPhoN", rows)
+    benchmark.extra_info.update(
+        {k: v for k, v in results.items() if isinstance(v, float)}
+    )
+
+    # Provisioning: weeks vs about a minute (>1000x gap).
+    assert results["manual_provisioning_s"] >= 2 * WEEK
+    assert results["griphon_provisioning_s"] < 2 * MINUTE
+    assert (
+        results["manual_provisioning_s"] / results["griphon_provisioning_s"]
+        > 1000
+    )
+    # Rates: GRIPhoN's ceiling is ~64x today's BoD ceiling.
+    assert results["griphon_max_rate_bps"] > 60 * results["today_max_bod_rate_bps"]
+    # Restoration: hours (manual) vs about a minute (GRIPhoN) vs ms (1+1).
+    assert results["manual_restore_s"] >= 4 * HOUR
+    assert results["griphon_restore_s"] < 3 * MINUTE
+    assert results["one_plus_one_restore_s"] < 0.1
+    assert (
+        results["one_plus_one_restore_s"]
+        < results["griphon_restore_s"]
+        < results["manual_restore_s"]
+    )
+    # Maintenance: a 4 h window hurts for 4 h today, ~50 ms with GRIPhoN.
+    assert results["manual_maintenance_impact_s"] == pytest.approx(4 * HOUR)
+    assert results["griphon_maintenance_impact_s"] < 0.1

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets pip do an editable install without `wheel`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Manual carrier operations: the "today's reality" column of Table 1.
+
+"Today's backbone optical networks can take several weeks to provision
+a customer's private line connection" and unprotected wavelength
+restoration means "wait for the carrier to manually restore connections
+which means long outage times (4 to 12 hours typically)" (paper §1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.randomness import RandomStreams
+from repro.units import HOUR, WEEK
+
+
+class ManualOperations:
+    """Samples the human-speed timelines of the pre-GRIPhoN world."""
+
+    def __init__(
+        self,
+        streams: RandomStreams,
+        provisioning_weeks_min: float = 2.0,
+        provisioning_weeks_max: float = 8.0,
+        restoration_hours_min: float = 4.0,
+        restoration_hours_max: float = 12.0,
+    ) -> None:
+        if not 0 < provisioning_weeks_min <= provisioning_weeks_max:
+            raise ConfigurationError("bad provisioning-week bounds")
+        if not 0 < restoration_hours_min <= restoration_hours_max:
+            raise ConfigurationError("bad restoration-hour bounds")
+        self._streams = streams
+        self._prov_bounds = (provisioning_weeks_min, provisioning_weeks_max)
+        self._rest_bounds = (restoration_hours_min, restoration_hours_max)
+
+    def provisioning_time(self) -> float:
+        """Seconds to manually provision a private line (weeks)."""
+        weeks = self._streams.uniform("manual:provision", *self._prov_bounds)
+        return weeks * WEEK
+
+    def restoration_time(self) -> float:
+        """Seconds to manually restore an unprotected wavelength (hours)."""
+        hours = self._streams.uniform("manual:restore", *self._rest_bounds)
+        return hours * HOUR
+
+    def maintenance_impact(self, window_s: float) -> float:
+        """Customer-visible outage when maintenance hits a manually-run
+        connection: the whole window (nobody moves the traffic first).
+
+        Raises:
+            ConfigurationError: for a negative window.
+        """
+        if window_s < 0:
+            raise ConfigurationError(f"window must be >= 0, got {window_s}")
+        return window_s

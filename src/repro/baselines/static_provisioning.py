@@ -1,0 +1,70 @@
+"""Static peak provisioning: the economics baseline for BoD.
+
+Without BoD a CSP leases a fixed line sized to its *peak* demand, then
+pays for that capacity around the clock.  The plan computes the leased
+capacity, the capacity-hours billed, and the utilization achieved, so
+experiment X4 can put static and BoD provisioning side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.units import GBPS
+
+
+@dataclass
+class StaticProvisioningPlan:
+    """A fixed leased line sized against an hourly demand series.
+
+    Attributes:
+        demand_series_bps: Hourly demand samples (bps).
+        granularity_bps: Leasable capacity increment (whole circuits).
+        headroom: Extra fractional margin above peak (carriers rarely
+            run leased lines at 100 percent).
+    """
+
+    demand_series_bps: List[float]
+    granularity_bps: float = 10 * GBPS
+    headroom: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.demand_series_bps:
+            raise ConfigurationError("demand series must not be empty")
+        if any(d < 0 for d in self.demand_series_bps):
+            raise ConfigurationError("demand samples must be >= 0")
+        if self.granularity_bps <= 0:
+            raise ConfigurationError("granularity must be positive")
+        if self.headroom < 0:
+            raise ConfigurationError("headroom must be >= 0")
+
+    @property
+    def peak_demand_bps(self) -> float:
+        """The highest demand sample."""
+        return max(self.demand_series_bps)
+
+    @property
+    def leased_capacity_bps(self) -> float:
+        """Peak demand plus headroom, rounded up to whole circuits."""
+        target = self.peak_demand_bps * (1 + self.headroom)
+        circuits = math.ceil(target / self.granularity_bps - 1e-9)
+        return max(1, circuits) * self.granularity_bps
+
+    def capacity_hours(self) -> float:
+        """Capacity-hours billed over the series horizon (bps * hours)."""
+        return self.leased_capacity_bps * len(self.demand_series_bps)
+
+    def used_capacity_hours(self) -> float:
+        """Demand actually carried (bps * hours)."""
+        return sum(self.demand_series_bps)
+
+    def utilization(self) -> float:
+        """Carried / billed, in [0, 1]."""
+        return self.used_capacity_hours() / self.capacity_hours()
+
+    def stranded_capacity_hours(self) -> float:
+        """Paid-for but idle capacity-hours."""
+        return self.capacity_hours() - self.used_capacity_hours()

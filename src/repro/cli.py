@@ -1,0 +1,143 @@
+"""Command-line interface: run the headline scenarios from a shell.
+
+Usage::
+
+    python -m repro quickstart
+    python -m repro table2 --iterations 10
+    python -m repro restore
+    python -m repro operator
+
+Each subcommand builds a fresh simulated network, runs one scenario, and
+prints a short report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+from typing import List, Optional
+
+from repro.core.gui import render_connections, render_network_view
+from repro.facade import build_griphon_testbed
+from repro.sim.process import Process
+from repro.units import format_duration, gbps
+
+#: Exclusions forcing each Table 2 path on the testbed.
+_TABLE2_EXCLUSIONS = {
+    1: [],
+    2: [("ROADM-I", "ROADM-IV")],
+    3: [("ROADM-I", "ROADM-IV"), ("ROADM-I", "ROADM-III")],
+}
+
+#: The paper's Table 2 means, for side-by-side display.
+_PAPER_TABLE2 = {1: 62.48, 2: 65.67, 3: 70.94}
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    """Order a 10G connection, watch it come up, tear it down."""
+    net = build_griphon_testbed(seed=args.seed)
+    service = net.service_for("cli-demo")
+    conn = service.request_connection("PREMISES-A", "PREMISES-C", 10)
+    net.run()
+    print(render_connections(service))
+    print(f"\nsetup took {format_duration(conn.setup_duration)}")
+    service.teardown_connection(conn.connection_id)
+    before = net.sim.now
+    net.run()
+    print(f"teardown took {format_duration(net.sim.now - before)}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    """Regenerate Table 2: establishment time vs ROADM path length."""
+    print("hops  paper mean (s)  measured mean (s)")
+    for hops, exclusions in _TABLE2_EXCLUSIONS.items():
+        samples = []
+        for i in range(args.iterations):
+            net = build_griphon_testbed(seed=args.seed + i)
+            plan = net.controller.rwa.plan(
+                "ROADM-I", "ROADM-IV", gbps(10), excluded_links=exclusions
+            )
+            lightpath = net.controller.provisioner.claim(plan)
+            start = net.sim.now
+            Process(
+                net.sim, net.controller.provisioner.setup_workflow(lightpath)
+            )
+            net.run()
+            samples.append(net.sim.now - start)
+        measured = statistics.fmean(samples)
+        print(f"{hops:>4}  {_PAPER_TABLE2[hops]:>14.2f}  {measured:>17.2f}")
+    return 0
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    """Cut a fiber under a live connection and watch restoration."""
+    net = build_griphon_testbed(seed=args.seed)
+    service = net.service_for("cli-demo")
+    conn = service.request_connection("PREMISES-A", "PREMISES-C", 10)
+    net.run()
+    path = net.inventory.lightpaths[conn.lightpath_ids[0]].path
+    print(f"connection up on {' - '.join(path)}")
+    print(f"cutting {path[0]} = {path[1]} ...")
+    net.controller.cut_link(path[0], path[1])
+    net.run()
+    new_path = net.inventory.lightpaths[conn.lightpath_ids[0]].path
+    print(f"restored on {' - '.join(new_path)}")
+    print(f"outage: {format_duration(conn.total_outage_s)}")
+    print("(manual restoration today: 4-12 hours)")
+    return 0
+
+
+def cmd_operator(args: argparse.Namespace) -> int:
+    """Bring up a few connections and print the operator view."""
+    net = build_griphon_testbed(seed=args.seed, nte_interfaces=12)
+    service = net.service_for("cli-demo", max_connections=32)
+    for a, b, rate in (
+        ("PREMISES-A", "PREMISES-B", 10),
+        ("PREMISES-A", "PREMISES-C", 40),
+        ("PREMISES-B", "PREMISES-C", 1),
+    ):
+        service.request_connection(a, b, rate)
+    net.run()
+    print(render_connections(service))
+    print()
+    print(render_network_view(net.controller))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GRIPhoN bandwidth-on-demand reproduction scenarios",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "quickstart", help="order, bring up, and tear down a 10G connection"
+    ).set_defaults(func=cmd_quickstart)
+    table2 = sub.add_parser(
+        "table2", help="regenerate Table 2 (setup time vs hops)"
+    )
+    table2.add_argument(
+        "--iterations", type=int, default=10,
+        help="measurements per path length (default 10)",
+    )
+    table2.set_defaults(func=cmd_table2)
+    sub.add_parser(
+        "restore", help="fiber cut + automated restoration demo"
+    ).set_defaults(func=cmd_restore)
+    sub.add_parser(
+        "operator", help="print the carrier operator network view"
+    ).set_defaults(func=cmd_operator)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

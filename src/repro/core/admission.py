@@ -1,0 +1,127 @@
+"""Admission control: customers, quotas, and isolation.
+
+The carrier "should also ensure isolation of services across different
+CSPs" while re-using a shared pool of resources (paper §4).  Each
+customer gets a profile with rate and connection-count quotas; admission
+rejects orders that would exceed them, independent of whether the
+network could physically carry the connection — quota rejections are
+policy, resource blocking is capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import AdmissionError
+from repro.units import GBPS, format_rate
+
+
+@dataclass
+class CustomerProfile:
+    """One cloud-service-provider customer.
+
+    Attributes:
+        name: Customer identifier.
+        max_connections: Cap on simultaneous connections.
+        max_total_rate_bps: Cap on the sum of committed rates.
+        premises: Premises this customer may order between; empty means
+            any premises (no restriction).
+    """
+
+    name: str
+    max_connections: int = 16
+    max_total_rate_bps: float = 400 * GBPS
+    premises: List[str] = field(default_factory=list)
+
+
+class AdmissionControl:
+    """Tracks per-customer usage against profiles."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, CustomerProfile] = {}
+        self._active_connections: Dict[str, int] = {}
+        self._active_rate: Dict[str, float] = {}
+
+    def register_customer(self, profile: CustomerProfile) -> None:
+        """Add a customer.
+
+        Raises:
+            AdmissionError: if the name is already registered.
+        """
+        if profile.name in self._profiles:
+            raise AdmissionError(f"customer {profile.name!r} already registered")
+        self._profiles[profile.name] = profile
+        self._active_connections[profile.name] = 0
+        self._active_rate[profile.name] = 0.0
+
+    def profile(self, customer: str) -> CustomerProfile:
+        """Look up a customer's profile.
+
+        Raises:
+            AdmissionError: for an unknown customer.
+        """
+        try:
+            return self._profiles[customer]
+        except KeyError:
+            raise AdmissionError(f"unknown customer {customer!r}") from None
+
+    def customers(self) -> List[str]:
+        """All registered customer names."""
+        return sorted(self._profiles)
+
+    def admit(
+        self, customer: str, premises_a: str, premises_b: str, rate_bps: float
+    ) -> None:
+        """Check and record an order against the customer's quotas.
+
+        Raises:
+            AdmissionError: when a quota or premises restriction is hit.
+        """
+        profile = self.profile(customer)
+        if profile.premises:
+            for premises in (premises_a, premises_b):
+                if premises not in profile.premises:
+                    raise AdmissionError(
+                        f"customer {customer!r} has no access at {premises!r}"
+                    )
+        if self._active_connections[customer] + 1 > profile.max_connections:
+            raise AdmissionError(
+                f"customer {customer!r} is at its connection quota "
+                f"({profile.max_connections})"
+            )
+        if self._active_rate[customer] + rate_bps > profile.max_total_rate_bps:
+            raise AdmissionError(
+                f"customer {customer!r} would exceed its rate quota "
+                f"({format_rate(profile.max_total_rate_bps)})"
+            )
+        self._active_connections[customer] += 1
+        self._active_rate[customer] += rate_bps
+
+    def release(self, customer: str, rate_bps: float) -> None:
+        """Return quota after a connection ends.
+
+        Raises:
+            AdmissionError: if releasing more than is held.
+        """
+        self.profile(customer)
+        if self._active_connections[customer] < 1:
+            raise AdmissionError(
+                f"customer {customer!r} has no active connections to release"
+            )
+        if self._active_rate[customer] - rate_bps < -1e-6:
+            raise AdmissionError(
+                f"customer {customer!r} releasing more rate than held"
+            )
+        self._active_connections[customer] -= 1
+        self._active_rate[customer] = max(
+            0.0, self._active_rate[customer] - rate_bps
+        )
+
+    def usage(self, customer: str) -> Dict[str, float]:
+        """Current usage snapshot for a customer."""
+        self.profile(customer)
+        return {
+            "connections": self._active_connections[customer],
+            "rate_bps": self._active_rate[customer],
+        }

@@ -1,0 +1,864 @@
+"""The GRIPhoN controller: orders, restoration, and bridge-and-roll.
+
+This is the brain of the system.  It owns the inventory database, talks
+to every EMS, and implements the four Table 1 capabilities:
+
+* **dynamic configurable-rate services** — orders are decomposed into
+  wavelength and/or ODU0 sub-wavelength components (the paper's 12 Gbps
+  example becomes one 10G lightpath plus two 1G OTN circuits);
+* **rapid establishment** — setup runs as simulated EMS workflows that
+  complete in about a minute instead of weeks;
+* **reduced outage times** — fiber-cut detection, localization, and
+  automated wavelength re-provisioning, plus sub-second shared-mesh
+  restoration for OTN circuits;
+* **minimal maintenance impact** — automated bridge-and-roll migrates a
+  live connection to a disjoint path with only a tiny roll hit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.admission import AdmissionControl, CustomerProfile
+from repro.core.connection import Connection, ConnectionKind, ConnectionState
+from repro.core.grooming import GroomingEngine
+from repro.core.inventory import InventoryDatabase
+from repro.core.provisioning import LightpathProvisioner
+from repro.core.rwa import RwaEngine
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    GriphonError,
+    ResourceError,
+)
+from repro.ems.fxc_ctl import FxcController
+from repro.ems.latency import LatencyModel
+from repro.ems.nte_ctl import NteController
+from repro.ems.otn_ems import OtnEms
+from repro.ems.roadm_ems import RoadmEms
+from repro.iplayer.network import IpLayer
+from repro.optical.impairments import ReachModel
+from repro.optical.lightpath import Lightpath, LightpathState
+from repro.otn.circuit import OduCircuitState
+from repro.otn.mesh_restoration import SharedMeshProtection
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.randomness import RandomStreams
+from repro.units import GBPS, ODU_LEVELS
+
+#: The brief traffic hit while rolling onto a bridge path, in seconds.
+ROLL_HIT_S = 0.050
+
+#: Client granularity of sub-wavelength service: 1 GbE in an ODU0.
+SUBWAVELENGTH_CLIENT_BPS = 1 * GBPS
+
+
+def decompose_rate(
+    rate_bps: float, wavelength_rates: List[float]
+) -> Tuple[List[float], int]:
+    """Split a requested rate into wavelength components and 1G circuits.
+
+    Greedy from the largest wavelength rate down; the remainder is packed
+    into 1 Gbps ODU0 circuits.  The paper's example: 12 Gbps with a 10G
+    wavelength available becomes ``([10G], 2)``.
+
+    Raises:
+        ConfigurationError: for a non-positive rate.
+    """
+    if rate_bps <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate_bps}")
+    remaining = rate_bps
+    waves: List[float] = []
+    for rate in sorted(wavelength_rates, reverse=True):
+        while remaining >= rate:
+            waves.append(rate)
+            remaining -= rate
+    circuits = int(math.ceil(remaining / SUBWAVELENGTH_CLIENT_BPS - 1e-9))
+    return waves, max(0, circuits)
+
+
+class GriphonController:
+    """Connection management for the GRIPhoN network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        inventory: InventoryDatabase,
+        streams: RandomStreams,
+        latency: Optional[LatencyModel] = None,
+        reach: Optional[ReachModel] = None,
+        parallel_ems: bool = False,
+        k_paths: int = 4,
+        assignment: str = "first-fit",
+        auto_restore: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.inventory = inventory
+        self.streams = streams
+        self.latency = latency or LatencyModel(streams)
+        self.roadm_ems = RoadmEms(inventory.roadms, inventory.plant, self.latency)
+        self.fxc_ctl = FxcController(inventory.fxcs, self.latency)
+        self.nte_ctl = NteController(inventory.ntes, self.latency)
+        self.otn_ems = OtnEms(inventory.otn_switches, self.latency)
+        self.rwa = RwaEngine(
+            inventory,
+            reach=reach,
+            k_paths=k_paths,
+            assignment=assignment,
+            streams=streams,
+        )
+        self.provisioner = LightpathProvisioner(
+            inventory, self.roadm_ems, self.latency, parallel_ems=parallel_ems
+        )
+        self.protection = SharedMeshProtection()
+        self.grooming = GroomingEngine(
+            inventory, self.protection, line_factory=self._create_otn_line
+        )
+        self.admission = AdmissionControl()
+        #: Optional IP layer for sub-1G packet services (Fig. 2).  Set
+        #: by the facade (or directly) after construction.
+        self.ip_layer: Optional[IpLayer] = None
+        self.auto_restore = auto_restore
+        self.connections: Dict[str, Connection] = {}
+        self._conn_seq = itertools.count()
+        self._lightpath_conn: Dict[str, str] = {}
+        self._evc_conn: Dict[str, str] = {}
+        self._line_lightpath: Dict[str, str] = {}
+        self._new_line_lightpaths: List[Lightpath] = []
+        inventory.plant.on_failure.append(self._handle_link_failure)
+        #: Observers called with (event_name, payload) for metrics.
+        self.observers: List[Callable[[str, dict], None]] = []
+
+    def set_latency_model(self, latency: LatencyModel) -> None:
+        """Swap the latency model everywhere (EMSes, provisioner).
+
+        Used by ablation experiments that re-time the same network with
+        faster or jitter-free EMS steps.
+        """
+        self.latency = latency
+        self.roadm_ems._latency = latency
+        self.fxc_ctl._latency = latency
+        self.nte_ctl._latency = latency
+        self.otn_ems._latency = latency
+        self.provisioner._latency = latency
+
+    # -- customers -------------------------------------------------------------
+
+    def register_customer(self, profile: CustomerProfile) -> None:
+        """Register a CSP customer with its quotas."""
+        self.admission.register_customer(profile)
+
+    def wavelength_rates(self) -> List[float]:
+        """Line rates for which any node has transponders installed."""
+        rates = set()
+        for pool in self.inventory.transponders.values():
+            for ot in pool.transponders:
+                rates.add(ot.line_rate_bps)
+        return sorted(rates)
+
+    # -- orders ----------------------------------------------------------------
+
+    def request_connection(
+        self,
+        customer: str,
+        premises_a: str,
+        premises_b: str,
+        rate_bps: float,
+        kind: Optional[ConnectionKind] = None,
+    ) -> Connection:
+        """Order a connection; returns immediately with the record.
+
+        The connection sets up asynchronously via simulated EMS workflows;
+        run the simulator and watch ``connection.state``.  A request that
+        cannot be admitted or resourced returns a BLOCKED record (with
+        ``blocked_reason``) rather than raising, because that is what the
+        customer GUI shows.
+        """
+        connection_id = f"conn-{next(self._conn_seq)}"
+        connection = Connection(
+            connection_id,
+            customer,
+            premises_a,
+            premises_b,
+            rate_bps,
+            kind or ConnectionKind.WAVELENGTH,
+            requested_at=self.sim.now,
+        )
+        self.connections[connection_id] = connection
+        try:
+            self.admission.admit(customer, premises_a, premises_b, rate_bps)
+        except AdmissionError as exc:
+            connection.state = ConnectionState.BLOCKED
+            connection.blocked_reason = str(exc)
+            self._notify("blocked", {"connection": connection, "reason": str(exc)})
+            return connection
+        try:
+            lightpaths, circuits, line_lightpaths = self._claim_components(
+                connection, kind
+            )
+        except GriphonError as exc:
+            self.admission.release(customer, rate_bps)
+            connection.state = ConnectionState.BLOCKED
+            connection.blocked_reason = str(exc)
+            self._notify("blocked", {"connection": connection, "reason": str(exc)})
+            return connection
+        Process(
+            self.sim,
+            self._setup_workflow(connection, lightpaths, circuits, line_lightpaths),
+            label=f"setup:{connection_id}",
+        )
+        return connection
+
+    def teardown_connection(self, connection_id: str) -> Connection:
+        """Order a teardown; completes asynchronously (about ten seconds)."""
+        connection = self.connection(connection_id)
+        connection.transition(ConnectionState.TEARING_DOWN)
+        Process(
+            self.sim,
+            self._teardown_workflow(connection),
+            label=f"teardown:{connection_id}",
+        )
+        return connection
+
+    def connection(self, connection_id: str) -> Connection:
+        """Look up a connection.
+
+        Raises:
+            ResourceError: for an unknown id.
+        """
+        try:
+            return self.connections[connection_id]
+        except KeyError:
+            raise ResourceError(f"unknown connection {connection_id!r}") from None
+
+    def connections_of(self, customer: str) -> List[Connection]:
+        """All connections (any state) belonging to a customer."""
+        return [
+            conn for conn in self.connections.values() if conn.customer == customer
+        ]
+
+    # -- failure injection & handling -------------------------------------------------
+
+    def cut_link(self, a: str, b: str) -> None:
+        """Cut a fiber link (failure handling runs automatically)."""
+        self.inventory.plant.cut_link(a, b)
+
+    def cut_srlg(self, srlg: str) -> None:
+        """Cut a whole shared-risk group (conduit cut)."""
+        self.inventory.plant.cut_srlg(srlg)
+
+    def repair_link(self, a: str, b: str) -> None:
+        """Repair a link and retry restoration for still-failed connections."""
+        self.inventory.plant.repair_link(a, b)
+        if self.ip_layer is not None:
+            try:
+                self.ip_layer.repair_adjacency(a, b)
+            except GriphonError:
+                pass  # no adjacency rides this span
+            self._retry_down_evcs()
+        if self.auto_restore:
+            for connection in self.connections.values():
+                if connection.state is ConnectionState.FAILED:
+                    self._attempt_restoration(connection)
+        else:
+            # Manual world: when the fiber is physically repaired, the
+            # original path lights up again and traffic resumes.
+            self._revive_repaired_connections()
+
+    def _revive_repaired_connections(self) -> None:
+        for connection in self.connections.values():
+            if connection.state is not ConnectionState.FAILED:
+                continue
+            if not connection.lightpath_ids:
+                continue
+            lightpath = self.inventory.lightpaths.get(
+                connection.lightpath_ids[0]
+            )
+            if lightpath is None or lightpath.state is not LightpathState.FAILED:
+                continue
+            if not self.inventory.plant.path_is_up(lightpath.path):
+                continue
+            lightpath.transition(LightpathState.UP)
+            connection.transition(ConnectionState.UP)
+            connection.end_outage(self.sim.now)
+            self._notify("revived", {"connection": connection})
+
+    # -- bridge-and-roll ------------------------------------------------------------
+
+    def bridge_and_roll(
+        self,
+        connection_id: str,
+        exclude_links: Tuple = (),
+        on_done: Optional[Callable[[dict], None]] = None,
+    ) -> Process:
+        """Migrate a live wavelength connection to a disjoint path.
+
+        Sets up a full new wavelength path (the bridge) while the original
+        carries traffic, then rolls traffic across with only a ~50 ms hit,
+        then releases the old path.  The new path must be resource-
+        disjoint from the old one (paper §2.2).
+
+        Returns the driving :class:`Process`; ``on_done`` receives a
+        summary dict with ``bridge_s``, ``hit_s``, and the new path.
+
+        Raises:
+            ResourceError: if the connection is not an UP wavelength
+                connection with exactly one lightpath.
+            NoPathError / WavelengthBlockedError: if no disjoint bridge
+                can be planned or claimed.
+        """
+        connection = self.connection(connection_id)
+        if connection.state is not ConnectionState.UP:
+            raise ResourceError(
+                f"{connection_id} is {connection.state.value}; bridge-and-roll "
+                f"needs an UP connection"
+            )
+        if len(connection.lightpath_ids) != 1 or connection.circuit_ids:
+            raise ResourceError(
+                "bridge-and-roll currently supports single-lightpath "
+                "wavelength connections"
+            )
+        old = self.inventory.lightpaths[connection.lightpath_ids[0]]
+        plan = self.rwa.plan(
+            old.source,
+            old.destination,
+            old.rate_bps,
+            excluded_links=exclude_links,
+            avoid_srlgs_of=old.path,
+        )
+        bridge = self.provisioner.claim(plan)
+        return Process(
+            self.sim,
+            self._bridge_and_roll_workflow(connection, old, bridge, on_done),
+            label=f"bridge-roll:{connection_id}",
+        )
+
+    # -- workflows -------------------------------------------------------------------
+
+    def _setup_workflow(self, connection, lightpaths, circuits, line_lightpaths):
+        connection.transition(ConnectionState.SETTING_UP)
+        for _ in connection.evc_ids:
+            yield self.latency.sample("controller.order")
+            yield self.latency.sample("ip.evc")
+        # Wavelengths created to carry new OTN lines come up first (the
+        # circuits ride them), without customer-side FXC steps.
+        for lightpath in line_lightpaths:
+            yield from self.provisioner.setup_workflow(lightpath, include_fxc=False)
+        for lightpath in lightpaths:
+            yield from self.provisioner.setup_workflow(lightpath)
+        for circuit in circuits:
+            circuit.transition(OduCircuitState.SETTING_UP)
+            circuit.setup_started_at = self.sim.now
+            yield self.latency.sample("controller.order")
+            for _ in circuit.line_ids:
+                yield self.latency.sample("otn.crossconnect")
+            circuit.transition(OduCircuitState.UP)
+            circuit.up_at = self.sim.now
+        connection.transition(ConnectionState.UP)
+        connection.up_at = self.sim.now
+        failed_setup = any(
+            self.inventory.lightpaths[lp_id].state is LightpathState.FAILED
+            for lp_id in connection.lightpath_ids
+            if lp_id in self.inventory.lightpaths
+        )
+        if failed_setup:
+            self._fail_connection_component(connection)
+            if self.auto_restore:
+                self._attempt_restoration(connection)
+            return
+        self._notify("up", {"connection": connection})
+
+    def _teardown_workflow(self, connection):
+        for evc_id in list(connection.evc_ids):
+            yield self.latency.sample("ip.evc.remove")
+            if self.ip_layer is not None and any(
+                evc.evc_id == evc_id for evc in self.ip_layer.evcs
+            ):
+                self.ip_layer.release_evc(evc_id)
+            self._evc_conn.pop(evc_id, None)
+        connection.evc_ids = []
+        for circuit_id in list(connection.circuit_ids):
+            circuit = self.inventory.circuits.get(circuit_id)
+            if circuit is None:
+                continue
+            yield self.latency.sample("controller.release")
+            for _ in circuit.line_ids:
+                yield self.latency.sample("otn.crossconnect.remove")
+            circuit.transition(OduCircuitState.RELEASED)
+            self.grooming.release_circuit(circuit)
+        for lightpath_id in list(connection.lightpath_ids):
+            lightpath = self.inventory.lightpaths.get(lightpath_id)
+            if lightpath is None:
+                continue
+            yield from self.provisioner.teardown_workflow(lightpath)
+            self._lightpath_conn.pop(lightpath_id, None)
+        if connection.nte_interfaces:
+            yield self.latency.sample("nte.release")
+            self._release_nte_claims(
+                connection.nte_interfaces, connection.connection_id
+            )
+            connection.nte_interfaces = []
+        self._release_steering(connection)
+        connection.transition(ConnectionState.RELEASED)
+        connection.released_at = self.sim.now
+        self.admission.release(connection.customer, connection.rate_bps)
+        self._notify("released", {"connection": connection})
+
+    def _bridge_and_roll_workflow(self, connection, old, bridge, on_done):
+        bridge_started = self.sim.now
+        # Bridge: bring the new path up while the old one carries traffic.
+        yield from self.provisioner.setup_workflow(bridge, include_fxc=False)
+        bridge_s = self.sim.now - bridge_started
+        # The customer may have torn the connection down (or a failure
+        # may have taken it) while the bridge was being built; in that
+        # case the roll is pointless — release the bridge and stop.
+        if (
+            connection.state is not ConnectionState.UP
+            or old.lightpath_id not in self.inventory.lightpaths
+        ):
+            if bridge.state is LightpathState.UP:
+                yield from self.provisioner.teardown_workflow(
+                    bridge, include_fxc=False
+                )
+            elif bridge.lightpath_id in self.inventory.lightpaths:
+                self.provisioner.release(bridge)
+            self._notify(
+                "bridge-and-roll-aborted",
+                {"connection_id": connection.connection_id},
+            )
+            return
+        # Roll: steer the FXCs to the new transponders.  Traffic takes a
+        # brief hit while the client signal moves.
+        connection.begin_outage(self.sim.now)
+        yield ROLL_HIT_S
+        connection.end_outage(self.sim.now)
+        connection.lightpath_ids = [bridge.lightpath_id]
+        self._lightpath_conn.pop(old.lightpath_id, None)
+        self._lightpath_conn[bridge.lightpath_id] = connection.connection_id
+        self._relabel_steering(old, bridge)
+        # Release the old path in the background.
+        yield from self.provisioner.teardown_workflow(old, include_fxc=False)
+        summary = {
+            "connection_id": connection.connection_id,
+            "bridge_s": bridge_s,
+            "hit_s": ROLL_HIT_S,
+            "new_path": list(bridge.path),
+        }
+        self._notify("bridge-and-roll", summary)
+        if on_done is not None:
+            on_done(summary)
+
+    # -- order decomposition --------------------------------------------------------
+
+    def _claim_components(self, connection, kind):
+        """Claim all resources for an order; returns its components."""
+        pop_a = self.inventory.pop_of(connection.premises_a)
+        pop_b = self.inventory.pop_of(connection.premises_b)
+        rates = self.wavelength_rates()
+        # Fig. 2: guaranteed bandwidth below 1 Gbps rides the IP layer
+        # as an EVC (when an IP layer exists and no layer was forced).
+        if (
+            kind is None
+            and connection.rate_bps < SUBWAVELENGTH_CLIENT_BPS
+            and self.ip_layer is not None
+        ):
+            return self._claim_evc(connection, pop_a, pop_b)
+        if kind is ConnectionKind.PACKET:
+            if self.ip_layer is None:
+                raise ResourceError(
+                    "packet service requested but no IP layer exists"
+                )
+            return self._claim_evc(connection, pop_a, pop_b)
+        if kind is ConnectionKind.WAVELENGTH:
+            fitting = [r for r in rates if r >= connection.rate_bps]
+            if not fitting:
+                raise ResourceError(
+                    "no installed transponder rate can carry "
+                    f"{connection.rate_bps / GBPS:g}G as a single wavelength"
+                )
+            waves, circuits_needed = [min(fitting)], 0
+        elif kind is ConnectionKind.SUBWAVELENGTH:
+            waves, circuits_needed = [], int(
+                math.ceil(connection.rate_bps / SUBWAVELENGTH_CLIENT_BPS - 1e-9)
+            )
+        else:
+            waves, circuits_needed = decompose_rate(connection.rate_bps, rates)
+        if circuits_needed and not self.inventory.otn_switches:
+            if waves and kind is None:
+                # No OTN layer: round the remainder up to one more wavelength.
+                waves.append(min(rates))
+                circuits_needed = 0
+            else:
+                raise ResourceError(
+                    "sub-wavelength service requested but no OTN layer exists"
+                )
+        connection.kind = self._classify(waves, circuits_needed)
+        owner = connection.connection_id
+        lightpaths: List[Lightpath] = []
+        circuits = []
+        self._new_line_lightpaths = []
+        claimed_nte: List[Tuple[str, int]] = []
+        try:
+            for rate in waves:
+                plan = self.rwa.plan(pop_a, pop_b, rate)
+                lightpath = self.provisioner.claim(plan)
+                lightpaths.append(lightpath)
+                self._lightpath_conn[lightpath.lightpath_id] = owner
+            for _ in range(circuits_needed):
+                circuit = self.grooming.claim_circuit(
+                    pop_a, pop_b, ODU_LEVELS["ODU0"], protect=True
+                )
+                circuits.append(circuit)
+            for premises in (connection.premises_a, connection.premises_b):
+                nte = self.inventory.ntes[premises]
+                # Each wavelength component terminates on its own
+                # un-channelized interface; each 1G circuit takes one
+                # sub-channel of a shared channelized interface (the
+                # 1/10G multiplexer of the testbed).
+                for _ in lightpaths:
+                    index = nte.claim_interface(owner, channelized=False)
+                    claimed_nte.append(("wave", premises, index))
+                for circuit in circuits:
+                    index, sub = nte.claim_subchannel(owner)
+                    claimed_nte.append(("sub", premises, index, sub))
+            self._claim_steering(connection, lightpaths, circuits)
+        except GriphonError:
+            for lightpath in lightpaths:
+                self._lightpath_conn.pop(lightpath.lightpath_id, None)
+                self.provisioner.release(lightpath)
+            for circuit in circuits:
+                self.grooming.release_circuit(circuit)
+            self._release_nte_claims(claimed_nte, owner)
+            self._release_steering(connection)
+            # OTN lines created while claiming stay in the inventory:
+            # they are carrier infrastructure, immediately reusable by
+            # future grooming (and reclaimable if they stay idle).
+            raise
+        connection.lightpath_ids = [lp.lightpath_id for lp in lightpaths]
+        connection.circuit_ids = [ckt.circuit_id for ckt in circuits]
+        connection.nte_interfaces = claimed_nte
+        line_lightpaths = self._new_line_lightpaths
+        self._new_line_lightpaths = []
+        return lightpaths, circuits, line_lightpaths
+
+    def _claim_evc(self, connection, pop_a: str, pop_b: str):
+        """Claim an IP-layer EVC (plus NTE sub-channels) for an order."""
+        owner = connection.connection_id
+        evc = self.ip_layer.provision_evc(pop_a, pop_b, connection.rate_bps)
+        self._evc_conn[evc.evc_id] = owner
+        claimed_nte = []
+        try:
+            for premises in (connection.premises_a, connection.premises_b):
+                index, sub = self.inventory.ntes[premises].claim_subchannel(
+                    owner
+                )
+                claimed_nte.append(("sub", premises, index, sub))
+        except GriphonError:
+            self.ip_layer.release_evc(evc.evc_id)
+            self._evc_conn.pop(evc.evc_id, None)
+            self._release_nte_claims(claimed_nte, owner)
+            raise
+        connection.kind = ConnectionKind.PACKET
+        connection.evc_ids = [evc.evc_id]
+        connection.nte_interfaces = claimed_nte
+        return [], [], []
+
+    def _claim_steering(self, connection, lightpaths, circuits) -> None:
+        """Program the FXC steering of Fig. 3 (state, not time).
+
+        At each end PoP the customer signal is cross-connected either to
+        the lightpath's transponder (wavelength service) or into an OTN
+        switch client port (sub-wavelength service).  The time cost of
+        these operations is already part of the setup workflows; this
+        records the *state* so ports are genuinely consumed and audited.
+        """
+        owner = connection.connection_id
+        pops = (
+            self.inventory.pop_of(connection.premises_a),
+            self.inventory.pop_of(connection.premises_b),
+        )
+        for lightpath in lightpaths:
+            for pop, ot_id in zip(pops, lightpath.ot_ids):
+                self._steer(pop, owner, f"access:{owner}", ot_id, connection)
+        for circuit in circuits:
+            for pop in pops:
+                switch = self.inventory.otn_switches[pop]
+                port = switch.claim_client_port(owner)
+                connection.otn_client_ports.append((pop, port))
+                self._steer(
+                    pop,
+                    owner,
+                    f"access:{owner}",
+                    f"OTN:{pop}:client{port}",
+                    connection,
+                )
+
+    def _steer(self, pop, owner, label_a, label_b, connection) -> None:
+        fxc = self.inventory.fxcs.get(pop)
+        if fxc is None:
+            return  # a PoP without an FXC is hard-wired
+        free = fxc.free_ports()
+        if len(free) < 2:
+            raise ResourceError(f"FXC at {pop} has no free port pair")
+        a, b = free[0], free[1]
+        fxc.connect(a, b, owner)
+        fxc.label_port(a, label_a)
+        fxc.label_port(b, label_b)
+        connection.fxc_ports.append((pop, a))
+
+    def _relabel_steering(self, old_lightpath, new_lightpath) -> None:
+        """After a roll or restoration, point the FXC labels at the new
+        transponders so the steering record matches reality."""
+        for old_ot, new_ot in zip(old_lightpath.ot_ids, new_lightpath.ot_ids):
+            if old_ot == new_ot:
+                continue
+            node = old_ot.split(":")[1]
+            fxc = self.inventory.fxcs.get(node)
+            if fxc is None:
+                continue
+            try:
+                port = fxc.find_port(old_ot)
+            except GriphonError:
+                continue
+            fxc.label_port(port, new_ot)
+
+    def _release_steering(self, connection) -> None:
+        """Undo FXC cross-connects and OTN client ports (bookkeeping)."""
+        owner = connection.connection_id
+        for site, port in connection.fxc_ports:
+            fxc = self.inventory.fxcs.get(site)
+            if fxc is not None and fxc.peer_of(port) is not None:
+                peer = fxc.peer_of(port)
+                fxc.disconnect(port, owner)
+                fxc.label_port(port, "")
+                fxc.label_port(peer, "")
+        connection.fxc_ports = []
+        for node, port in connection.otn_client_ports:
+            switch = self.inventory.otn_switches.get(node)
+            if switch is not None:
+                try:
+                    switch.release_client_port(port, owner)
+                except GriphonError:
+                    pass  # already released
+        connection.otn_client_ports = []
+
+    def _release_nte_claims(self, claims, owner: str) -> None:
+        """Release tagged NTE claims (bookkeeping only)."""
+        for claim in claims:
+            premises = claim[1]
+            nte = self.inventory.ntes[premises]
+            if claim[0] == "wave":
+                nte.release_interface(claim[2], owner)
+            else:
+                nte.release_subchannel(claim[2], claim[3], owner)
+
+    @staticmethod
+    def _classify(waves: List[float], circuits: int) -> ConnectionKind:
+        if waves and circuits:
+            return ConnectionKind.COMPOSITE
+        if waves:
+            return ConnectionKind.WAVELENGTH
+        return ConnectionKind.SUBWAVELENGTH
+
+    # -- OTN line factory --------------------------------------------------------
+
+    def _create_otn_line(self, a: str, b: str):
+        """Stand up a new OTN line a-b by claiming a fresh wavelength."""
+        rates = self.wavelength_rates()
+        if not rates:
+            raise ResourceError("no transponders installed anywhere")
+        line_rate = min(r for r in rates if r >= 10 * GBPS) if any(
+            r >= 10 * GBPS for r in rates
+        ) else max(rates)
+        plan = self.rwa.plan(a, b, line_rate)
+        lightpath = self.provisioner.claim(plan)
+        level = "ODU2" if line_rate <= 10 * GBPS else "ODU3"
+        line = self.inventory.create_otn_line(a, b, level=ODU_LEVELS[level])
+        self.protection.add_line(line)
+        self._line_lightpath[line.line_id] = lightpath.lightpath_id
+        self._new_line_lightpaths.append(lightpath)
+        return line
+
+    # -- failure handling ------------------------------------------------------------
+
+    def _handle_link_failure(self, link_key, affected_owners):
+        """Fiber-cut handler: localize, fail, and (optionally) restore."""
+        self._notify("fiber-cut", {"link": link_key, "owners": set(affected_owners)})
+        # IP layer: the adjacency riding this span fails; the IGP
+        # reconverges and EVCs reroute in a couple hundred milliseconds.
+        if self.ip_layer is not None:
+            self._handle_ip_adjacency_failure(link_key)
+        # Wavelength layer: fail lightpaths riding the link.
+        for lightpath in self.inventory.lightpaths_using_link(*link_key):
+            if lightpath.state is not LightpathState.UP:
+                continue
+            lightpath.transition(LightpathState.FAILED)
+            conn_id = self._lightpath_conn.get(lightpath.lightpath_id)
+            if conn_id is not None:
+                self._fail_connection_component(self.connection(conn_id))
+            # OTN lines riding this lightpath fail too.
+            for line_id, lp_id in list(self._line_lightpath.items()):
+                if lp_id == lightpath.lightpath_id:
+                    self._fail_otn_line(line_id)
+        # OTN circuits restore via shared mesh (sub-second), wavelength
+        # connections via re-provisioning (about a minute).
+        if self.auto_restore:
+            for connection in list(self.connections.values()):
+                if connection.state is ConnectionState.FAILED:
+                    self._attempt_restoration(connection)
+
+    def _retry_down_evcs(self) -> None:
+        """After a repair, bring DOWN EVCs back up."""
+        from repro.iplayer.evc import EvcState
+
+        for evc in self.ip_layer.evcs:
+            if evc.state is not EvcState.DOWN:
+                continue
+            conn_id = self._evc_conn.get(evc.evc_id)
+            connection = (
+                self.connections.get(conn_id) if conn_id is not None else None
+            )
+            try:
+                outage = self.ip_layer.reroute_evc(evc.evc_id)
+            except GriphonError:
+                continue
+            if connection is not None:
+                if connection.state is ConnectionState.FAILED:
+                    connection.transition(ConnectionState.UP)
+                self.sim.schedule(
+                    outage,
+                    connection.end_outage,
+                    self.sim.now + outage,
+                    label=f"evc-retry:{evc.evc_id}",
+                )
+
+    def _handle_ip_adjacency_failure(self, link_key) -> None:
+        a, b = link_key
+        try:
+            affected = self.ip_layer.fail_adjacency(a, b)
+        except GriphonError:
+            return  # no adjacency rides this span
+        for evc in affected:
+            conn_id = self._evc_conn.get(evc.evc_id)
+            connection = (
+                self.connections.get(conn_id) if conn_id is not None else None
+            )
+            if connection is not None:
+                connection.begin_outage(self.sim.now)
+            try:
+                outage = self.ip_layer.reroute_evc(evc.evc_id)
+            except GriphonError:
+                # No surviving capacity: stays down until repair.
+                if connection is not None and connection.state in (
+                    ConnectionState.UP,
+                    ConnectionState.DEGRADED,
+                ):
+                    connection.transition(ConnectionState.FAILED)
+                continue
+            if connection is not None:
+                self.sim.schedule(
+                    outage,
+                    connection.end_outage,
+                    self.sim.now + outage,
+                    label=f"evc-reroute:{evc.evc_id}",
+                )
+
+    def _fail_connection_component(self, connection):
+        if connection.state in (ConnectionState.UP, ConnectionState.DEGRADED):
+            connection.begin_outage(self.sim.now)
+            connection.transition(ConnectionState.FAILED)
+            self._notify("connection-failed", {"connection": connection})
+
+    def _fail_otn_line(self, line_id: str) -> None:
+        line = self.inventory.otn_lines.get(line_id)
+        if line is None or line.failed:
+            return
+        affected = line.fail()
+        for circuit_id in affected:
+            circuit = self.inventory.circuits.get(circuit_id)
+            if circuit is None or circuit.state is not OduCircuitState.UP:
+                continue
+            circuit.transition(OduCircuitState.FAILED)
+            try:
+                switch_time = self.protection.restore(circuit_id)
+            except GriphonError:
+                continue  # no shared capacity left; stays failed
+            circuit.restored_at = self.sim.now + switch_time
+            conn_id = self._circuit_connection(circuit_id)
+            if conn_id is not None:
+                connection = self.connection(conn_id)
+                connection.begin_outage(self.sim.now)
+                self.sim.schedule(
+                    switch_time,
+                    connection.end_outage,
+                    self.sim.now + switch_time,
+                    label=f"mesh-restore:{circuit_id}",
+                )
+
+    def _circuit_connection(self, circuit_id: str) -> Optional[str]:
+        for connection in self.connections.values():
+            if circuit_id in connection.circuit_ids:
+                return connection.connection_id
+        return None
+
+    def _attempt_restoration(self, connection):
+        """Re-provision a failed wavelength connection on a new route."""
+        if not connection.lightpath_ids:
+            return
+        old_id = connection.lightpath_ids[0]
+        old = self.inventory.lightpaths.get(old_id)
+        if old is None or old.state is not LightpathState.FAILED:
+            return
+        failed_links = set(self.inventory.plant.failed_links())
+        try:
+            plan = self.rwa.plan(
+                old.source,
+                old.destination,
+                old.rate_bps,
+                excluded_links=failed_links,
+            )
+        except GriphonError as exc:
+            self._notify(
+                "restoration-blocked",
+                {"connection": connection, "reason": str(exc)},
+            )
+            return
+        # Release the dead path, then claim and set up the new one.
+        self.provisioner.release(old)
+        self._lightpath_conn.pop(old_id, None)
+        try:
+            replacement = self.provisioner.claim(plan)
+        except GriphonError as exc:
+            self._notify(
+                "restoration-blocked",
+                {"connection": connection, "reason": str(exc)},
+            )
+            return
+        connection.transition(ConnectionState.RESTORING)
+        connection.lightpath_ids = [replacement.lightpath_id]
+        self._lightpath_conn[replacement.lightpath_id] = connection.connection_id
+        self._relabel_steering(old, replacement)
+        Process(
+            self.sim,
+            self._restoration_workflow(connection, replacement),
+            label=f"restore:{connection.connection_id}",
+        )
+
+    def _restoration_workflow(self, connection, replacement):
+        yield from self.provisioner.setup_workflow(replacement, include_fxc=False)
+        if replacement.state is LightpathState.FAILED:
+            # Another cut landed while we were restoring; try again.
+            connection.transition(ConnectionState.FAILED)
+            self._attempt_restoration(connection)
+            return
+        connection.transition(ConnectionState.UP)
+        connection.end_outage(self.sim.now)
+        self._notify("restored", {"connection": connection})
+
+    # -- misc -----------------------------------------------------------------------
+
+    def _notify(self, event: str, payload: dict) -> None:
+        for observer in self.observers:
+            observer(event, payload)

@@ -1,0 +1,184 @@
+"""OTN grooming: routing sub-wavelength circuits into packed wavelengths.
+
+"Compared to using muxponders in the DWDM layer to provide
+sub-wavelength connections, the OTN layer with its switching capability
+can achieve more efficient packing of wavelengths in the transport
+network." (paper §2.1)
+
+The engine routes ODU circuits hop by hop through the OTN switch mesh.
+At each hop it prefers the **fullest existing line that still fits**
+(best-fit packing); only when no line fits does it ask its line factory
+to stand up a new OTN line — which costs a fresh wavelength.  The
+number of lines created under a demand mix, versus the muxponder
+baseline, is exactly experiment X3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.inventory import InventoryDatabase
+from repro.errors import CapacityExceededError, NoPathError, ResourceError
+from repro.otn.circuit import OduCircuit, OduCircuitState
+from repro.otn.line import OtnLine
+from repro.otn.mesh_restoration import SharedMeshProtection
+from repro.units import OduLevel
+
+#: Creates a new OTN line between two adjacent switch nodes, or raises
+#: ResourceError when no wavelength is available.  Wired by the
+#: controller to wavelength provisioning; tests can use a stub.
+LineFactory = Callable[[str, str], OtnLine]
+
+
+class GroomingEngine:
+    """Routes and packs ODU circuits over the OTN line mesh."""
+
+    def __init__(
+        self,
+        inventory: InventoryDatabase,
+        protection: Optional[SharedMeshProtection] = None,
+        line_factory: Optional[LineFactory] = None,
+    ) -> None:
+        self._inventory = inventory
+        self._protection = protection
+        self._line_factory = line_factory
+
+    # -- routing -----------------------------------------------------------------
+
+    def switch_path(
+        self,
+        source: str,
+        destination: str,
+        excluded_links: Tuple = (),
+        excluded_nodes: Tuple = (),
+    ) -> List[str]:
+        """Shortest path that stays on nodes hosting OTN switches.
+
+        Raises:
+            NoPathError: if the switch mesh does not connect the endpoints.
+        """
+        switchless = [
+            node.name
+            for node in self._inventory.graph.nodes
+            if node.name not in self._inventory.otn_switches
+            and node.name not in (source, destination)
+        ]
+        return self._inventory.graph.shortest_path(
+            source,
+            destination,
+            excluded_links=excluded_links,
+            excluded_nodes=tuple(switchless) + tuple(excluded_nodes),
+        )
+
+    def ensure_line(self, a: str, b: str, slots_needed: int) -> OtnLine:
+        """A working line a->b with room, creating one if needed and possible.
+
+        Raises:
+            CapacityExceededError: if no line fits and none can be created.
+        """
+        switch = self._inventory.otn_switches[a]
+        line = switch.best_line_toward(b, slots_needed)
+        if line is not None:
+            return line
+        if self._line_factory is None:
+            raise CapacityExceededError(
+                f"no OTN line {a}->{b} with {slots_needed} free slots and "
+                f"no line factory configured"
+            )
+        try:
+            return self._line_factory(a, b)
+        except ResourceError as exc:
+            raise CapacityExceededError(
+                f"cannot create OTN line {a}->{b}: {exc}"
+            ) from exc
+
+    # -- circuits ----------------------------------------------------------------
+
+    def claim_circuit(
+        self,
+        source: str,
+        destination: str,
+        level: OduLevel,
+        protect: bool = False,
+    ) -> OduCircuit:
+        """Route, pack, and allocate an ODU circuit (bookkeeping only).
+
+        Args:
+            protect: Also plan a link-disjoint backup path and register
+                it with shared-mesh protection.
+
+        Raises:
+            NoPathError / CapacityExceededError: when routing or packing
+                fails; partial slot allocations are rolled back.
+        """
+        path = self.switch_path(source, destination)
+        circuit = OduCircuit(
+            self._inventory.next_circuit_id(), level, path
+        )
+        allocated: List[OtnLine] = []
+        try:
+            for u, v in zip(path, path[1:]):
+                line = self.ensure_line(u, v, circuit.slots_needed)
+                line.allocate(circuit.slots_needed, circuit.circuit_id)
+                allocated.append(line)
+                circuit.line_ids.append(line.line_id)
+            if protect:
+                self._plan_protection(circuit)
+        except (CapacityExceededError, NoPathError):
+            for line in allocated:
+                line.release_owner(circuit.circuit_id)
+            raise
+        self._inventory.register_circuit(circuit)
+        return circuit
+
+    def release_circuit(self, circuit: OduCircuit) -> None:
+        """Free a circuit's working (and any active backup) slots."""
+        for line_id in circuit.line_ids:
+            line = self._inventory.otn_lines.get(line_id)
+            if line is not None and circuit.circuit_id in line.owners():
+                line.release_owner(circuit.circuit_id)
+        for line_id in circuit.backup_line_ids:
+            line = self._inventory.otn_lines.get(line_id)
+            if line is not None and circuit.circuit_id in line.owners():
+                line.release_owner(circuit.circuit_id)
+        if self._protection is not None and circuit.backup_path is not None:
+            try:
+                self._protection.unregister(circuit.circuit_id)
+            except ResourceError:
+                pass  # was never registered (unprotected circuit)
+        self._inventory.forget_circuit(circuit.circuit_id)
+
+    def wavelengths_consumed(self) -> int:
+        """Total OTN lines (each costs one wavelength) currently standing."""
+        return len(self._inventory.otn_lines)
+
+    def mean_line_fill(self) -> float:
+        """Average slot utilization across standing lines (0 if none)."""
+        lines = list(self._inventory.otn_lines.values())
+        if not lines:
+            return 0.0
+        return sum(line.utilization() for line in lines) / len(lines)
+
+    # -- internals ------------------------------------------------------------
+
+    def _plan_protection(self, circuit: OduCircuit) -> None:
+        if self._protection is None:
+            raise CapacityExceededError(
+                "protection requested but no shared-mesh manager configured"
+            )
+        working_links = [
+            ((u, v) if u <= v else (v, u))
+            for u, v in zip(circuit.path, circuit.path[1:])
+        ]
+        backup = self.switch_path(
+            circuit.source,
+            circuit.destination,
+            excluded_links=tuple(working_links),
+            excluded_nodes=tuple(circuit.path[1:-1]),
+        )
+        backup_line_ids = []
+        for u, v in zip(backup, backup[1:]):
+            line = self.ensure_line(u, v, circuit.slots_needed)
+            backup_line_ids.append(line.line_id)
+        circuit.backup_path = backup
+        self._protection.register(circuit, backup_line_ids)

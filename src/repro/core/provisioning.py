@@ -1,0 +1,387 @@
+"""Lightpath provisioning: resource claiming and EMS-step choreography.
+
+Provisioning happens in two phases, mirroring how an EMS-driven network
+behaves:
+
+1. **Claim** (instantaneous): when the controller accepts an order it
+   locks every resource — transponders, regenerators, ROADM ports and
+   cross-connects, wavelength channels — in its inventory.  A partial
+   failure rolls everything back and raises, so a blocked order leaves
+   no residue.
+
+2. **Execute** (simulated time): the EMS configuration steps and optical
+   tasks run as a generator that yields step durations.  This phase is
+   what takes 60–70 seconds in the testbed; its structure (two laser
+   tunings, two add/drop configurations, one express configuration per
+   intermediate ROADM, one equalization per link, one verification)
+   is what makes Table 2's setup time grow with path length.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Tuple
+
+from repro.core.inventory import InventoryDatabase
+from repro.core.rwa import RwaPlan
+from repro.errors import GriphonError, TransponderUnavailableError
+from repro.ems.latency import LatencyModel
+from repro.ems.roadm_ems import RoadmEms
+from repro.optical.lightpath import Lightpath, LightpathState
+
+#: A timed EMS/optical step: (stage, label, duration_seconds).  Steps in
+#: the same stage touch independent elements and may run concurrently in
+#: the parallel-EMS ablation.
+Step = Tuple[str, str, float]
+
+
+class LightpathProvisioner:
+    """Claims resources for and choreographs wavelength connections."""
+
+    def __init__(
+        self,
+        inventory: InventoryDatabase,
+        roadm_ems: RoadmEms,
+        latency: LatencyModel,
+        parallel_ems: bool = False,
+    ) -> None:
+        self._inventory = inventory
+        self._roadm_ems = roadm_ems
+        self._latency = latency
+        self._parallel_ems = parallel_ems
+
+    # -- phase 1: claim -----------------------------------------------------------
+
+    def claim(self, plan: RwaPlan, reuse_ots: Optional[List[str]] = None) -> Lightpath:
+        """Lock every resource the plan needs; returns the lightpath record.
+
+        Args:
+            plan: The RWA plan to realize.
+            reuse_ots: Transponder ids at (source, destination) to reuse
+                instead of allocating fresh ones — restoration keeps the
+                original end transponders and only retunes them.
+
+        Raises:
+            TransponderUnavailableError / WavelengthBlockedError /
+            EquipmentError: when a resource is gone; all partial
+            allocations are rolled back first.
+        """
+        lightpath_id = self._inventory.next_lightpath_id()
+        lightpath = Lightpath(
+            lightpath_id,
+            list(plan.path),
+            plan.rate_bps,
+            segments=[seg for seg in plan.segments],
+            regen_sites=list(plan.regen_sites),
+        )
+        undo: List[Callable[[], None]] = []
+        try:
+            self._claim_end_transponders(lightpath, reuse_ots, undo)
+            self._claim_regens(lightpath, undo)
+            self._claim_roadm_crossconnects(lightpath, undo)
+            self._claim_channels(lightpath, undo)
+        except GriphonError:
+            for action in reversed(undo):
+                action()
+            raise
+        self._inventory.register_lightpath(lightpath)
+        return lightpath
+
+    def release(self, lightpath: Lightpath) -> None:
+        """Free every resource a lightpath holds (bookkeeping only)."""
+        owner = lightpath.lightpath_id
+        inv = self._inventory
+        # Channels.
+        for segment in lightpath.segments:
+            for u, v in zip(segment.nodes, segment.nodes[1:]):
+                link = inv.plant.dwdm_link(u, v)
+                if link.owner_of(segment.channel) == owner:
+                    link.release(segment.channel, owner)
+        # ROADM cross-connects.
+        for node, roadm in inv.roadms.items():
+            for port in roadm.ports:
+                if port.owner == owner:
+                    roadm.disconnect_add_drop(port.port_id, owner)
+        for segment in lightpath.segments:
+            nodes = segment.nodes
+            for i in range(1, len(nodes) - 1):
+                roadm = inv.roadms.get(nodes[i])
+                if roadm is None:
+                    continue
+                try:
+                    roadm.disconnect_express(
+                        nodes[i - 1], nodes[i + 1], segment.channel, owner
+                    )
+                except GriphonError:
+                    pass  # already removed or was a regen hop
+        # Transponders and regens.
+        for ot_id in lightpath.ot_ids:
+            node = ot_id.split(":")[1]
+            ot = inv.transponders[node].get(ot_id)
+            if ot.owner == owner:
+                ot.release(owner)
+        for regen_id in lightpath.regen_ids:
+            node = regen_id.split(":")[1]
+            for regen in inv.regens[node].regenerators:
+                if regen.regen_id == regen_id and regen.owner == owner:
+                    regen.release(owner)
+        inv.forget_lightpath(lightpath.lightpath_id)
+
+    # -- phase 2: execute ---------------------------------------------------------
+
+    def setup_steps(self, lightpath: Lightpath, include_fxc: bool = True) -> List[Step]:
+        """The timed EMS/optical steps to bring a claimed lightpath up."""
+        sample = self._latency.sample
+        steps: List[Step] = [("order", "controller.order", sample("controller.order"))]
+        if include_fxc:
+            steps.append(("fxc", f"fxc@{lightpath.source}", sample("fxc.connect")))
+            steps.append(
+                ("fxc", f"fxc@{lightpath.destination}", sample("fxc.connect"))
+            )
+        steps.append(("tune", f"ot@{lightpath.source}", sample("ot.tune")))
+        steps.append(("tune", f"ot@{lightpath.destination}", sample("ot.tune")))
+        steps.append(
+            ("roadm", f"add-drop@{lightpath.source}", sample("roadm.add_drop"))
+        )
+        steps.append(
+            ("roadm", f"add-drop@{lightpath.destination}", sample("roadm.add_drop"))
+        )
+        regen_sites = set(lightpath.regen_sites)
+        for node in lightpath.path[1:-1]:
+            if node in regen_sites:
+                # A regen hop is a drop + re-add: two add/drop configs.
+                steps.append(
+                    ("roadm", f"regen-drop@{node}", sample("roadm.add_drop"))
+                )
+                steps.append(
+                    ("roadm", f"regen-add@{node}", sample("roadm.add_drop"))
+                )
+            else:
+                steps.append(("roadm", f"express@{node}", sample("roadm.express")))
+        for u, v in zip(lightpath.path, lightpath.path[1:]):
+            steps.append(
+                ("equalize", f"equalize {u}={v}", self._roadm_ems.equalize_link(u, v))
+            )
+        steps.append(
+            ("verify", "end-to-end verify", self._roadm_ems.verify_lightpath())
+        )
+        return steps
+
+    def teardown_steps(
+        self, lightpath: Lightpath, include_fxc: bool = True
+    ) -> List[Step]:
+        """The timed steps to tear a lightpath down (about ten seconds)."""
+        sample = self._latency.sample
+        steps: List[Step] = [
+            ("order", "controller.release", sample("controller.release"))
+        ]
+        if include_fxc:
+            steps.append(("fxc", f"fxc@{lightpath.source}", sample("fxc.disconnect")))
+            steps.append(
+                ("fxc", f"fxc@{lightpath.destination}", sample("fxc.disconnect"))
+            )
+        steps.append(
+            ("roadm", f"remove@{lightpath.source}", sample("roadm.add_drop.remove"))
+        )
+        steps.append(
+            (
+                "roadm",
+                f"remove@{lightpath.destination}",
+                sample("roadm.add_drop.remove"),
+            )
+        )
+        regen_sites = set(lightpath.regen_sites)
+        for node in lightpath.path[1:-1]:
+            step = (
+                "roadm.add_drop.remove" if node in regen_sites else "roadm.express.remove"
+            )
+            steps.append(("roadm", f"remove@{node}", sample(step)))
+        steps.append(("release", f"ot@{lightpath.source}", sample("ot.release")))
+        steps.append(("release", f"ot@{lightpath.destination}", sample("ot.release")))
+        return steps
+
+    def total_duration(self, steps: List[Step]) -> float:
+        """Wall-clock duration of a step list under the EMS mode.
+
+        Sequential EMS sums all steps; the parallel-EMS ablation runs
+        steps within one stage concurrently (duration = stage max).
+        """
+        if not self._parallel_ems:
+            return sum(duration for _, _, duration in steps)
+        total = 0.0
+        current_stage: Optional[str] = None
+        stage_max = 0.0
+        for stage, _, duration in steps:
+            if stage != current_stage:
+                total += stage_max
+                stage_max = 0.0
+                current_stage = stage
+            stage_max = max(stage_max, duration)
+        return total + stage_max
+
+    def setup_workflow(
+        self,
+        lightpath: Lightpath,
+        include_fxc: bool = True,
+        on_up: Optional[Callable[[Lightpath], None]] = None,
+    ) -> Generator[float, None, Lightpath]:
+        """A generator bringing the lightpath up step by timed step."""
+        lightpath.transition(LightpathState.SETTING_UP)
+        steps = self.setup_steps(lightpath, include_fxc)
+        for duration in self._stage_durations(steps):
+            yield duration
+        lightpath.transition(LightpathState.UP)
+        # A fiber along the route may have been cut while the EMS steps
+        # were running; the end-to-end verification catches that.
+        if not self._inventory.plant.path_is_up(lightpath.path):
+            lightpath.transition(LightpathState.FAILED)
+            return lightpath
+        if on_up is not None:
+            on_up(lightpath)
+        return lightpath
+
+    def teardown_workflow(
+        self,
+        lightpath: Lightpath,
+        include_fxc: bool = True,
+        on_released: Optional[Callable[[Lightpath], None]] = None,
+    ) -> Generator[float, None, Lightpath]:
+        """A generator tearing the lightpath down, then freeing resources."""
+        lightpath.transition(LightpathState.TEARING_DOWN)
+        steps = self.teardown_steps(lightpath, include_fxc)
+        for duration in self._stage_durations(steps):
+            yield duration
+        lightpath.transition(LightpathState.RELEASED)
+        self.release(lightpath)
+        if on_released is not None:
+            on_released(lightpath)
+        return lightpath
+
+    # -- claim internals --------------------------------------------------------
+
+    def _claim_end_transponders(
+        self,
+        lightpath: Lightpath,
+        reuse_ots: Optional[List[str]],
+        undo: List[Callable[[], None]],
+    ) -> None:
+        owner = lightpath.lightpath_id
+        inv = self._inventory
+        if reuse_ots is not None:
+            if len(reuse_ots) != 2:
+                raise TransponderUnavailableError(
+                    f"reuse_ots needs exactly 2 ids, got {len(reuse_ots)}"
+                )
+            ends = (lightpath.source, lightpath.destination)
+            for node, ot_id in zip(ends, reuse_ots):
+                ot = inv.transponders[node].get(ot_id)
+                ot.allocate(owner)
+                undo.append(lambda ot=ot: ot.release(owner))
+                lightpath.ot_ids.append(ot.ot_id)
+            return
+        for node in (lightpath.source, lightpath.destination):
+            ot = inv.transponders[node].allocate(lightpath.rate_bps, owner)
+            undo.append(lambda ot=ot: ot.release(owner))
+            lightpath.ot_ids.append(ot.ot_id)
+
+    def _claim_regens(
+        self, lightpath: Lightpath, undo: List[Callable[[], None]]
+    ) -> None:
+        owner = lightpath.lightpath_id
+        for node in lightpath.regen_sites:
+            regen = self._inventory.regens[node].allocate(lightpath.rate_bps, owner)
+            undo.append(lambda regen=regen: regen.release(owner))
+            lightpath.regen_ids.append(regen.regen_id)
+
+    def _claim_roadm_crossconnects(
+        self, lightpath: Lightpath, undo: List[Callable[[], None]]
+    ) -> None:
+        owner = lightpath.lightpath_id
+        inv = self._inventory
+        path = lightpath.path
+        regen_sites = set(lightpath.regen_sites)
+
+        def connect_port(node: str, degree: str, channel: int) -> None:
+            roadm = inv.roadms[node]
+            free = roadm.free_ports(degree=degree, channel=channel)
+            if not free:
+                raise TransponderUnavailableError(
+                    f"no free add/drop port at {node} for channel {channel}"
+                )
+            port = free[0]
+            roadm.connect_add_drop(port.port_id, degree, channel, owner)
+            undo.append(
+                lambda: inv.roadms[node].disconnect_add_drop(port.port_id, owner)
+            )
+
+        # End nodes: one add/drop port each.
+        connect_port(path[0], path[1], lightpath.segments[0].channel)
+        connect_port(path[-1], path[-2], lightpath.segments[-1].channel)
+        # Intermediate nodes, segment by segment.
+        channel_at: dict = {}
+        for segment in lightpath.segments:
+            for node in segment.nodes:
+                channel_at.setdefault(node, []).append(segment.channel)
+        for i, node in enumerate(path[1:-1], start=1):
+            prev_node, next_node = path[i - 1], path[i + 1]
+            if node in regen_sites:
+                # Drop the incoming segment, re-add the outgoing one.
+                incoming = self._segment_channel(lightpath, node, incoming=True)
+                outgoing = self._segment_channel(lightpath, node, incoming=False)
+                connect_port(node, prev_node, incoming)
+                connect_port(node, next_node, outgoing)
+            else:
+                channel = self._segment_channel(lightpath, node, incoming=True)
+                roadm = inv.roadms[node]
+                roadm.connect_express(prev_node, next_node, channel, owner)
+                undo.append(
+                    lambda node=node, a=prev_node, b=next_node, ch=channel: (
+                        inv.roadms[node].disconnect_express(a, b, ch, owner)
+                    )
+                )
+
+    def _claim_channels(
+        self, lightpath: Lightpath, undo: List[Callable[[], None]]
+    ) -> None:
+        owner = lightpath.lightpath_id
+        inv = self._inventory
+        for segment in lightpath.segments:
+            for u, v in zip(segment.nodes, segment.nodes[1:]):
+                link = inv.plant.dwdm_link(u, v)
+                link.occupy(segment.channel, owner)
+                undo.append(
+                    lambda link=link, ch=segment.channel: link.release(ch, owner)
+                )
+
+    def _segment_channel(
+        self, lightpath: Lightpath, node: str, incoming: bool
+    ) -> int:
+        """The channel of the segment entering (or leaving) ``node``."""
+        for segment in lightpath.segments:
+            nodes = segment.nodes
+            if node in nodes:
+                index = nodes.index(node)
+                if incoming and index > 0:
+                    return segment.channel
+                if not incoming and index < len(nodes) - 1:
+                    return segment.channel
+        raise TransponderUnavailableError(
+            f"lightpath {lightpath.lightpath_id} has no segment "
+            f"{'into' if incoming else 'out of'} {node}"
+        )
+
+    def _stage_durations(self, steps: List[Step]) -> List[float]:
+        """Durations to yield, honoring the sequential/parallel EMS mode."""
+        if not self._parallel_ems:
+            return [duration for _, _, duration in steps]
+        durations: List[float] = []
+        current_stage: Optional[str] = None
+        stage_max = 0.0
+        for stage, _, duration in steps:
+            if stage != current_stage and current_stage is not None:
+                durations.append(stage_max)
+                stage_max = 0.0
+            current_stage = stage
+            stage_max = max(stage_max, duration)
+        if current_stage is not None:
+            durations.append(stage_max)
+        return durations

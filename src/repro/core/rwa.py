@@ -1,0 +1,180 @@
+"""Routing and wavelength assignment (RWA) for wavelength services.
+
+Given a request between two ROADM nodes at a line rate, the engine:
+
+1. enumerates k shortest candidate routes (hop-count metric by default,
+   matching how the testbed paths are described in Table 2);
+2. segments each route at regenerator sites dictated by the optical
+   reach model (a regen resets both the impairment budget *and* the
+   wavelength-continuity constraint);
+3. picks a wavelength per segment — **first-fit** by default, with a
+   random policy available for the ablation benchmark;
+4. returns a :class:`RwaPlan` listing route, per-segment channels, and
+   regen sites — or raises a specific error explaining which resource
+   blocked the request.
+
+The plan is pure computation: nothing is allocated until the setup
+workflow executes it step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    NoPathError,
+    SignalError,
+    WavelengthBlockedError,
+)
+from repro.core.inventory import InventoryDatabase
+from repro.optical.impairments import ReachModel
+from repro.optical.lightpath import Segment
+from repro.sim.randomness import RandomStreams
+
+
+@dataclass
+class RwaPlan:
+    """The output of routing and wavelength assignment.
+
+    Attributes:
+        path: Node route from source to destination ROADM.
+        segments: Wavelength assignment per regen-free segment.
+        regen_sites: Intermediate nodes needing a regenerator.
+        rate_bps: Line rate the plan was computed for.
+    """
+
+    path: List[str]
+    segments: List[Segment]
+    regen_sites: List[str]
+    rate_bps: float
+
+    @property
+    def hop_count(self) -> int:
+        """ROADM-layer hops along the route."""
+        return len(self.path) - 1
+
+
+class RwaEngine:
+    """Computes RWA plans against the live inventory."""
+
+    def __init__(
+        self,
+        inventory: InventoryDatabase,
+        reach: Optional[ReachModel] = None,
+        k_paths: int = 4,
+        assignment: str = "first-fit",
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if assignment not in ("first-fit", "random"):
+            raise ConfigurationError(
+                f"assignment must be 'first-fit' or 'random', got {assignment!r}"
+            )
+        if assignment == "random" and streams is None:
+            raise ConfigurationError("random assignment needs RandomStreams")
+        if k_paths < 1:
+            raise ConfigurationError(f"k_paths must be >= 1, got {k_paths}")
+        self._inventory = inventory
+        self._reach = reach or ReachModel()
+        self._k_paths = k_paths
+        self._assignment = assignment
+        self._streams = streams
+
+    def plan(
+        self,
+        source: str,
+        destination: str,
+        rate_bps: float,
+        excluded_links: Iterable[Tuple[str, str]] = (),
+        excluded_nodes: Iterable[str] = (),
+        avoid_srlgs_of: Optional[List[str]] = None,
+    ) -> RwaPlan:
+        """Compute a route and wavelength assignment.
+
+        Args:
+            source: Source ROADM node.
+            destination: Destination ROADM node.
+            rate_bps: Requested line rate.
+            excluded_links: Link keys to route around (failed or under
+                maintenance).
+            excluded_nodes: Intermediate nodes to avoid.
+            avoid_srlgs_of: When set to a node path, the plan must also be
+                SRLG-disjoint from it (the bridge-and-roll constraint).
+
+        Raises:
+            NoPathError: if no candidate route survives the exclusions.
+            WavelengthBlockedError: if routes exist but no wavelength (or
+                regen segmentation) satisfies continuity on any of them.
+        """
+        if source == destination:
+            raise ConfigurationError("source and destination must differ")
+        graph = self._inventory.graph
+        banned_links = set(excluded_links)
+        banned_nodes = set(excluded_nodes)
+        if avoid_srlgs_of is not None:
+            banned_links |= {
+                link.key for link in graph.links_on_path(avoid_srlgs_of)
+            }
+            for srlg in graph.srlgs_on_path(avoid_srlgs_of):
+                banned_links |= {link.key for link in graph.links_in_srlg(srlg)}
+            banned_nodes |= set(avoid_srlgs_of[1:-1])
+        candidates = graph.k_shortest_paths(
+            source,
+            destination,
+            self._k_paths,
+            excluded_links=banned_links,
+            excluded_nodes=banned_nodes,
+        )
+        live_candidates = [
+            path for path in candidates if self._inventory.plant.path_is_up(path)
+        ]
+        if not live_candidates:
+            raise NoPathError(
+                f"all candidate routes {source} -> {destination} are failed"
+            )
+        failures = []
+        for path in live_candidates:
+            try:
+                segments, regen_sites = self._assign(path, rate_bps)
+            except (WavelengthBlockedError, SignalError) as exc:
+                # SignalError: a single link on this route exceeds the
+                # optical reach at this rate, so the route is unusable.
+                failures.append(str(exc))
+                continue
+            return RwaPlan(path, segments, regen_sites, rate_bps)
+        raise WavelengthBlockedError(
+            f"no wavelength assignment on any of {len(live_candidates)} routes "
+            f"{source} -> {destination}: " + "; ".join(failures)
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _assign(
+        self, path: List[str], rate_bps: float
+    ) -> Tuple[List[Segment], List[str]]:
+        """Segment a route at regen sites and pick a channel per segment."""
+        graph = self._inventory.graph
+        regen_sites = self._reach.regen_sites(graph, path, rate_bps)
+        boundaries = [path[0]] + regen_sites + [path[-1]]
+        indices = [path.index(b) for b in boundaries]
+        segments = []
+        for start, end in zip(indices, indices[1:]):
+            nodes = path[start : end + 1]
+            channel = self._pick_channel(nodes)
+            segments.append(Segment(nodes, channel))
+        return segments, regen_sites
+
+    def _pick_channel(self, nodes: List[str]) -> int:
+        free = self._inventory.plant.common_free_channels(nodes)
+        # The end ROADMs must also have the channel free on the relevant
+        # degree (a previous segment of this very plan could contend, but
+        # plans are executed atomically per segment, so link occupancy is
+        # the authoritative constraint here).
+        if not free:
+            raise WavelengthBlockedError(
+                f"no common free wavelength on segment {' - '.join(nodes)}"
+            )
+        if self._assignment == "first-fit":
+            return min(free)
+        return self._streams.choice("rwa:random-channel", sorted(free))

@@ -1,0 +1,114 @@
+"""The per-customer bandwidth-on-demand service API.
+
+This is the programmatic face of the paper's "Customer GUI": each CSP
+gets a handle scoped to its own connections, with methods for connection
+management (set up / tear down on demand) and simple fault visibility.
+The complexity of the GRIPhoN network — access pipes, carrier equipment,
+network layers, the controller — stays hidden (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.connection import Connection, ConnectionKind, ConnectionState
+from repro.core.controller import GriphonController
+from repro.errors import AdmissionError, ResourceError
+from repro.units import GBPS
+
+
+class BodService:
+    """One customer's view of the GRIPhoN BoD service."""
+
+    def __init__(self, controller: GriphonController, customer: str) -> None:
+        # Validates the customer exists.
+        controller.admission.profile(customer)
+        self._controller = controller
+        self.customer = customer
+
+    # -- connection management ---------------------------------------------------
+
+    def request_connection(
+        self,
+        premises_a: str,
+        premises_b: str,
+        rate_gbps: float,
+        kind: Optional[ConnectionKind] = None,
+    ) -> Connection:
+        """Order a connection between two of this customer's premises.
+
+        Args:
+            rate_gbps: Committed rate in Gbps (the GUI's unit).
+            kind: Force a wavelength or sub-wavelength realization;
+                ``None`` lets the controller decompose the rate.
+        """
+        return self._controller.request_connection(
+            self.customer, premises_a, premises_b, rate_gbps * GBPS, kind
+        )
+
+    def teardown_connection(self, connection_id: str) -> Connection:
+        """Tear down one of this customer's connections.
+
+        Raises:
+            ResourceError: if the connection belongs to another customer
+                (isolation: customers cannot see or touch each other's
+                connections).
+        """
+        connection = self._own(connection_id)
+        return self._controller.teardown_connection(connection.connection_id)
+
+    def connections(self) -> List[Connection]:
+        """All of this customer's connections, oldest first."""
+        return self._controller.connections_of(self.customer)
+
+    def connection(self, connection_id: str) -> Connection:
+        """One of this customer's connections.
+
+        Raises:
+            ResourceError: unknown id or another customer's connection.
+        """
+        return self._own(connection_id)
+
+    # -- fault visibility ----------------------------------------------------------
+
+    def impacted_connections(self) -> List[Connection]:
+        """Connections currently failed, degraded, or restoring."""
+        impacted_states = (
+            ConnectionState.FAILED,
+            ConnectionState.DEGRADED,
+            ConnectionState.RESTORING,
+        )
+        return [c for c in self.connections() if c.state in impacted_states]
+
+    def fault_report(self, connection_id: str) -> str:
+        """A one-line fault status for a connection (GUI detail pane)."""
+        connection = self._own(connection_id)
+        if connection.state is ConnectionState.UP:
+            return f"{connection_id}: in service"
+        if connection.state is ConnectionState.BLOCKED:
+            return f"{connection_id}: blocked - {connection.blocked_reason}"
+        if connection.state in (ConnectionState.FAILED, ConnectionState.RESTORING):
+            failed = self._controller.inventory.plant.failed_links()
+            where = ", ".join(f"{a}={b}" for a, b in failed) or "unknown location"
+            verb = (
+                "restoration in progress"
+                if connection.state is ConnectionState.RESTORING
+                else "awaiting restoration"
+            )
+            return f"{connection_id}: outage localized to [{where}]; {verb}"
+        return f"{connection_id}: {connection.state.value}"
+
+    def usage(self) -> dict:
+        """Current quota usage (connections and committed rate)."""
+        return self._controller.admission.usage(self.customer)
+
+    # -- internals ------------------------------------------------------------
+
+    def _own(self, connection_id: str) -> Connection:
+        connection = self._controller.connection(connection_id)
+        if connection.customer != self.customer:
+            raise ResourceError(
+                f"connection {connection_id!r} does not belong to "
+                f"{self.customer!r}"
+            )
+        return connection

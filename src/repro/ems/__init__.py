@@ -1,0 +1,36 @@
+"""Element management systems (EMS) with per-step latency models.
+
+The paper's headline measurement — 60–70 s wavelength connection
+establishment — decomposes into "(i) ROADM Element Management System
+(EMS) configuration steps, and (ii) optical tasks, such as ROADM
+reconfiguration, laser tuning, power balancing and link equalization"
+(§3).  This package models every vendor-supplied management interface
+the GRIPhoN controller talks to, with each configuration step taking a
+calibrated, lightly-jittered amount of simulated time:
+
+* :mod:`repro.ems.latency` — the step-duration catalog and sampler;
+* :mod:`repro.ems.roadm_ems` — ROADM EMS (add/drop, express, equalize);
+* :mod:`repro.ems.otn_ems` — OTN switch EMS (electrical cross-connects);
+* :mod:`repro.ems.fxc_ctl` — FXC controllers;
+* :mod:`repro.ems.nte_ctl` — NTE controllers on the customer premises.
+
+Every EMS operation applies its network-element mutation immediately
+(the EMS locks the resource when it accepts the command) and returns
+the **duration** the step takes; workflow processes yield that duration
+to the simulator.
+"""
+
+from repro.ems.fxc_ctl import FxcController
+from repro.ems.latency import DEFAULT_STEP_MEANS, LatencyModel
+from repro.ems.nte_ctl import NteController
+from repro.ems.otn_ems import OtnEms
+from repro.ems.roadm_ems import RoadmEms
+
+__all__ = [
+    "FxcController",
+    "DEFAULT_STEP_MEANS",
+    "LatencyModel",
+    "NteController",
+    "OtnEms",
+    "RoadmEms",
+]

@@ -1,0 +1,45 @@
+"""FXC controllers: the management interface to fiber cross-connects."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import EquipmentError
+from repro.ems.latency import LatencyModel
+from repro.optical.fxc import FiberCrossConnect
+
+
+class FxcController:
+    """Manages the fiber cross-connects at all sites."""
+
+    def __init__(
+        self, fxcs: Dict[str, FiberCrossConnect], latency: LatencyModel
+    ) -> None:
+        self._fxcs = dict(fxcs)
+        self._latency = latency
+
+    def fxc(self, site: str) -> FiberCrossConnect:
+        """Look up the FXC at ``site``.
+
+        Raises:
+            EquipmentError: for an unknown site.
+        """
+        try:
+            return self._fxcs[site]
+        except KeyError:
+            raise EquipmentError(f"no FXC managed at site {site!r}") from None
+
+    def connect(self, site: str, port_a: int, port_b: int, owner: str) -> float:
+        """Cross-connect two ports; returns the step duration."""
+        self.fxc(site).connect(port_a, port_b, owner)
+        return self._latency.sample("fxc.connect")
+
+    def connect_labeled(self, site: str, label_a: str, label_b: str, owner: str) -> float:
+        """Cross-connect two ports found by label; returns the duration."""
+        fxc = self.fxc(site)
+        return self.connect(site, fxc.find_port(label_a), fxc.find_port(label_b), owner)
+
+    def disconnect(self, site: str, port: int, owner: str) -> float:
+        """Remove the cross-connect at ``port``; returns the duration."""
+        self.fxc(site).disconnect(port, owner)
+        return self._latency.sample("fxc.disconnect")

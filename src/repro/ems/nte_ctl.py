@@ -1,0 +1,48 @@
+"""NTE controllers: configuring the customer-premises demarcation boxes."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import EquipmentError
+from repro.ems.latency import LatencyModel
+from repro.optical.nte import NetworkTerminatingEquipment
+
+
+class NteController:
+    """Manages the NTEs on every customer premises."""
+
+    def __init__(
+        self,
+        ntes: Dict[str, NetworkTerminatingEquipment],
+        latency: LatencyModel,
+    ) -> None:
+        self._ntes = dict(ntes)
+        self._latency = latency
+
+    def nte(self, premises: str) -> NetworkTerminatingEquipment:
+        """Look up the NTE at ``premises``.
+
+        Raises:
+            EquipmentError: for an unknown premises.
+        """
+        try:
+            return self._ntes[premises]
+        except KeyError:
+            raise EquipmentError(f"no NTE managed at {premises!r}") from None
+
+    def configure_interface(
+        self, premises: str, owner: str, channelized: bool
+    ) -> tuple:
+        """Claim and configure a customer interface.
+
+        Returns:
+            ``(interface_index, duration_seconds)``.
+        """
+        index = self.nte(premises).claim_interface(owner, channelized)
+        return index, self._latency.sample("nte.configure")
+
+    def release_interface(self, premises: str, index: int, owner: str) -> float:
+        """Release a customer interface; returns the step duration."""
+        self.nte(premises).release_interface(index, owner)
+        return self._latency.sample("nte.release")

@@ -1,0 +1,54 @@
+"""The OTN switch EMS: electrical cross-connects, seconds not tens of them."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import EquipmentError
+from repro.ems.latency import LatencyModel
+from repro.otn.line import OtnLine
+from repro.otn.switch import OtnSwitch
+
+
+class OtnEms:
+    """Manages the OTN switches and their lines."""
+
+    def __init__(self, switches: Dict[str, OtnSwitch], latency: LatencyModel) -> None:
+        self._switches = dict(switches)
+        self._latency = latency
+
+    def switch(self, node: str) -> OtnSwitch:
+        """Look up the OTN switch at ``node``.
+
+        Raises:
+            EquipmentError: for an unknown node.
+        """
+        try:
+            return self._switches[node]
+        except KeyError:
+            raise EquipmentError(f"no OTN switch managed at {node!r}") from None
+
+    def nodes(self) -> List[str]:
+        """All nodes with a managed OTN switch."""
+        return sorted(self._switches)
+
+    def claim_client_port(self, node: str, owner: str) -> int:
+        """Claim a client port on a switch (instant; part of ordering)."""
+        return self.switch(node).claim_client_port(owner)
+
+    def release_client_port(self, node: str, port: int, owner: str) -> None:
+        """Release a client port (instant)."""
+        self.switch(node).release_client_port(port, owner)
+
+    def crossconnect_slots(self, line: OtnLine, slots: int, owner: str) -> float:
+        """Allocate slots on a line and program the cross-connect.
+
+        Returns the EMS step duration.
+        """
+        line.allocate(slots, owner)
+        return self._latency.sample("otn.crossconnect")
+
+    def remove_crossconnect(self, line: OtnLine, owner: str) -> float:
+        """Free a circuit's slots on a line; returns the step duration."""
+        line.release_owner(owner)
+        return self._latency.sample("otn.crossconnect.remove")

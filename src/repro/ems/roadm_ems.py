@@ -1,0 +1,104 @@
+"""The vendor ROADM EMS: the controller's interface to the photonic layer.
+
+Each operation mutates the ROADM (or line system) immediately — the EMS
+locks resources when it accepts a command — and returns the seconds the
+step takes, which the calling workflow yields to the simulator.  The
+equalization step's duration includes the amplifier-chain transient
+settle time of the link, so longer links genuinely take longer to light.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import EquipmentError
+from repro.ems.latency import LatencyModel
+from repro.optical.amplifier import AmplifierChain
+from repro.optical.fiber import FiberPlant
+from repro.optical.roadm import Roadm
+
+
+class RoadmEms:
+    """Manages the ROADMs and the optical line system."""
+
+    def __init__(
+        self,
+        roadms: Dict[str, Roadm],
+        plant: FiberPlant,
+        latency: LatencyModel,
+    ) -> None:
+        self._roadms = dict(roadms)
+        self._plant = plant
+        self._latency = latency
+        self._chains: Dict[tuple, AmplifierChain] = {
+            link.key: AmplifierChain(link.length_km) for link in plant.graph.links
+        }
+
+    def roadm(self, name: str) -> Roadm:
+        """Look up a managed ROADM.
+
+        Raises:
+            EquipmentError: for an unknown node.
+        """
+        try:
+            return self._roadms[name]
+        except KeyError:
+            raise EquipmentError(f"EMS manages no ROADM named {name!r}") from None
+
+    # -- add/drop --------------------------------------------------------------
+
+    def configure_add_drop(
+        self, node: str, port_id: str, degree: str, channel: int, owner: str
+    ) -> float:
+        """Connect an add/drop port; returns the EMS step duration."""
+        self.roadm(node).connect_add_drop(port_id, degree, channel, owner)
+        return self._latency.sample("roadm.add_drop")
+
+    def remove_add_drop(self, node: str, port_id: str, owner: str) -> float:
+        """Disconnect an add/drop port; returns the step duration."""
+        self.roadm(node).disconnect_add_drop(port_id, owner)
+        return self._latency.sample("roadm.add_drop.remove")
+
+    # -- express ----------------------------------------------------------------
+
+    def configure_express(
+        self, node: str, degree_in: str, degree_out: str, channel: int, owner: str
+    ) -> float:
+        """Set up an express cross-connect; returns the step duration."""
+        self.roadm(node).connect_express(degree_in, degree_out, channel, owner)
+        return self._latency.sample("roadm.express")
+
+    def remove_express(
+        self, node: str, degree_in: str, degree_out: str, channel: int, owner: str
+    ) -> float:
+        """Tear down an express cross-connect; returns the step duration."""
+        self.roadm(node).disconnect_express(degree_in, degree_out, channel, owner)
+        return self._latency.sample("roadm.express.remove")
+
+    # -- optical line tasks ---------------------------------------------------------
+
+    def occupy_channel(self, a: str, b: str, channel: int, owner: str) -> None:
+        """Record channel occupancy on the fiber link (no EMS delay)."""
+        self._plant.dwdm_link(a, b).occupy(channel, owner)
+
+    def release_channel(self, a: str, b: str, channel: int, owner: str) -> None:
+        """Release channel occupancy on the fiber link (no EMS delay)."""
+        self._plant.dwdm_link(a, b).release(channel, owner)
+
+    def equalize_link(self, a: str, b: str) -> float:
+        """Power-balance and equalize one link after an add/drop change.
+
+        The duration is the EMS equalization step plus the link's
+        amplifier-chain transient settle time, so longer links take
+        proportionally longer — part of why setup time in Table 2 grows
+        with path length.
+        """
+        dwdm = self._plant.dwdm_link(a, b)
+        chain = self._chains[dwdm.link.key]
+        return self._latency.sample(
+            "line.equalize", extra=chain.transient_settle_time()
+        )
+
+    def verify_lightpath(self) -> float:
+        """End-to-end verification before customer handover."""
+        return self._latency.sample("verify.end_to_end")

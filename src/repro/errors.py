@@ -1,0 +1,60 @@
+"""Exception hierarchy for the GRIPhoN reproduction.
+
+Every error raised by the library derives from :class:`GriphonError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing resource exhaustion from programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class GriphonError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(GriphonError):
+    """The network graph is malformed or a referenced node/link is unknown."""
+
+
+class ResourceError(GriphonError):
+    """A required network resource could not be allocated."""
+
+
+class NoPathError(ResourceError):
+    """No route satisfying the request's constraints exists."""
+
+
+class WavelengthBlockedError(ResourceError):
+    """A route exists but no common wavelength is free along it."""
+
+
+class TransponderUnavailableError(ResourceError):
+    """No free optical transponder (or regenerator) at a required node."""
+
+
+class CapacityExceededError(ResourceError):
+    """A link, port, or multiplexing structure has no remaining capacity."""
+
+
+class AdmissionError(GriphonError):
+    """The request violates an admission-control or isolation policy."""
+
+
+class ConnectionStateError(GriphonError):
+    """An operation is invalid for the connection's current state."""
+
+
+class EquipmentError(GriphonError):
+    """A network element rejected a configuration command."""
+
+
+class SignalError(GriphonError):
+    """An optical signal violates reach, tuning, or framing constraints."""
+
+
+class SimulationError(GriphonError):
+    """The discrete-event simulation kernel was misused."""
+
+
+class ConfigurationError(GriphonError):
+    """Invalid user-supplied configuration values."""

@@ -1,0 +1,203 @@
+"""High-level assembly: ready-to-run GRIPhoN networks.
+
+:class:`GriphonNetwork` wires a topology, equipment inventory, EMS stack,
+and controller together.  Two builders cover the paper's scenarios:
+
+* :func:`build_griphon_testbed` — the Fig. 4 laboratory testbed (four
+  ROADMs, three customer premises, OTN layer installed);
+* :func:`build_griphon_backbone` — the synthetic 12-city backbone with
+  five data-center premises, for scaling and planning experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.admission import CustomerProfile
+from repro.core.controller import GriphonController
+from repro.core.inventory import InventoryDatabase
+from repro.core.maintenance import MaintenanceScheduler
+from repro.core.service import BodService
+from repro.ems.latency import LatencyModel
+from repro.iplayer.network import IpLayer
+from repro.optical.wavelength import WavelengthGrid
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.topo.backbone import BACKBONE_DATA_CENTERS, build_backbone_graph
+from repro.topo.graph import NetworkGraph
+from repro.topo.testbed import TESTBED_PREMISES, TESTBED_ROADMS, build_testbed_graph
+from repro.units import GBPS
+
+
+class GriphonNetwork:
+    """A fully assembled GRIPhoN network ready for BoD requests."""
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        seed: int = 0,
+        grid_size: int = 80,
+        latency_cv: Optional[float] = None,
+        parallel_ems: bool = False,
+        assignment: str = "first-fit",
+        auto_restore: bool = True,
+    ) -> None:
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.inventory = InventoryDatabase(graph, WavelengthGrid(grid_size))
+        latency_kwargs = {} if latency_cv is None else {"cv": latency_cv}
+        self.latency = LatencyModel(self.streams, **latency_kwargs)
+        self._controller_kwargs = dict(
+            parallel_ems=parallel_ems,
+            assignment=assignment,
+            auto_restore=auto_restore,
+        )
+        self.controller: Optional[GriphonController] = None
+        self.maintenance: Optional[MaintenanceScheduler] = None
+        self._services: Dict[str, BodService] = {}
+
+    def finish_build(self) -> "GriphonNetwork":
+        """Create the controller once all equipment is installed."""
+        self.controller = GriphonController(
+            self.sim,
+            self.inventory,
+            self.streams,
+            latency=self.latency,
+            **self._controller_kwargs,
+        )
+        self.maintenance = MaintenanceScheduler(self.controller)
+        return self
+
+    def service_for(
+        self,
+        customer: str,
+        premises: Iterable[str] = (),
+        max_connections: int = 16,
+        max_total_rate_gbps: float = 400.0,
+    ) -> BodService:
+        """The BoD service handle for ``customer``, registering if new."""
+        if customer not in self._services:
+            self.controller.register_customer(
+                CustomerProfile(
+                    customer,
+                    max_connections=max_connections,
+                    max_total_rate_bps=max_total_rate_gbps * GBPS,
+                    premises=list(premises),
+                )
+            )
+            self._services[customer] = BodService(self.controller, customer)
+        return self._services[customer]
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Advance the simulation; returns the number of events fired."""
+        return self.sim.run(until=until)
+
+
+def _attach_ip_layer(net: GriphonNetwork) -> None:
+    """Overlay an IP layer: a router per core node, one adjacency per
+    core fiber span (conceptually riding statically provisioned
+    wavelengths), 10G capacity with 2x committed-rate oversubscription.
+    """
+    ip = IpLayer()
+    graph = net.inventory.graph
+    core_nodes = [node.name for node in graph.nodes if node.kind == "roadm"]
+    for node in core_nodes:
+        ip.add_router(node)
+    for link in graph.links:
+        if link.a in core_nodes and link.b in core_nodes:
+            ip.add_adjacency(link.a, link.b, capacity_bps=10 * GBPS)
+    net.controller.ip_layer = ip
+
+
+def build_griphon_testbed(
+    seed: int = 0,
+    with_otn: bool = True,
+    with_ip: bool = True,
+    latency_cv: Optional[float] = None,
+    parallel_ems: bool = False,
+    assignment: str = "first-fit",
+    auto_restore: bool = True,
+    ots_per_node_10g: int = 8,
+    ots_per_node_40g: int = 2,
+    nte_interfaces: int = 4,
+    grid_size: int = 80,
+) -> GriphonNetwork:
+    """Build the paper's Fig. 4 laboratory testbed.
+
+    Four ROADMs (two 3-degree, two 2-degree), wavelength-tunable OTs at
+    the add/drop ports, client-side FXCs for dynamic OT/regen sharing,
+    three customer premises with NTEs (four 10G interfaces each, like
+    the 10G/40G muxponders), and — unless ``with_otn`` is False — OTN
+    switches at every core PoP.
+    """
+    net = GriphonNetwork(
+        build_testbed_graph(),
+        seed=seed,
+        grid_size=grid_size,
+        latency_cv=latency_cv,
+        parallel_ems=parallel_ems,
+        assignment=assignment,
+        auto_restore=auto_restore,
+    )
+    inv = net.inventory
+    for node in TESTBED_ROADMS:
+        inv.install_roadm(node, add_drop_ports=16)
+        inv.install_transponders(node, 10 * GBPS, ots_per_node_10g)
+        inv.install_transponders(node, 40 * GBPS, ots_per_node_40g)
+        inv.install_regens(node, 10 * GBPS, 2)
+        inv.install_fxc(node, port_count=32)
+        if with_otn:
+            inv.install_otn_switch(node, client_ports=32)
+    for premises, pop in TESTBED_PREMISES.items():
+        inv.install_nte(premises, pop, interface_rate_bps=10 * GBPS,
+                        interface_count=nte_interfaces)
+        inv.install_fxc(premises, port_count=16)
+    net.finish_build()
+    if with_ip:
+        _attach_ip_layer(net)
+    return net
+
+
+def build_griphon_backbone(
+    seed: int = 0,
+    with_otn: bool = True,
+    with_ip: bool = True,
+    latency_cv: Optional[float] = None,
+    parallel_ems: bool = False,
+    assignment: str = "first-fit",
+    auto_restore: bool = True,
+    ots_per_node_10g: int = 12,
+    ots_per_node_40g: int = 6,
+    regens_per_hub: int = 6,
+) -> GriphonNetwork:
+    """Build the synthetic 12-city backbone with five data centers."""
+    net = GriphonNetwork(
+        build_backbone_graph(),
+        seed=seed,
+        grid_size=80,
+        latency_cv=latency_cv,
+        parallel_ems=parallel_ems,
+        assignment=assignment,
+        auto_restore=auto_restore,
+    )
+    inv = net.inventory
+    hubs = {"CHI", "STL", "DEN", "DFW", "ATL"}
+    from repro.topo.backbone import BACKBONE_CITIES
+
+    for city in BACKBONE_CITIES:
+        inv.install_roadm(city, add_drop_ports=24)
+        inv.install_transponders(city, 10 * GBPS, ots_per_node_10g)
+        inv.install_transponders(city, 40 * GBPS, ots_per_node_40g)
+        regen_count = regens_per_hub if city in hubs else 2
+        inv.install_regens(city, 10 * GBPS, regen_count)
+        inv.install_regens(city, 40 * GBPS, regen_count)
+        inv.install_fxc(city, port_count=64)
+        if with_otn:
+            inv.install_otn_switch(city, client_ports=64)
+    for dc, pop in BACKBONE_DATA_CENTERS.items():
+        inv.install_nte(dc, pop, interface_rate_bps=10 * GBPS, interface_count=8)
+        inv.install_fxc(dc, port_count=16)
+    net.finish_build()
+    if with_ip:
+        _attach_ip_layer(net)
+    return net

@@ -1,0 +1,85 @@
+"""Ethernet private lines over virtually concatenated SONET channels.
+
+"Ethernet private lines are links between customer routers or Ethernet
+switches, usually consisting of Gigabit Ethernet interfaces at customer
+ends and then encapsulated and rate-limited into pipes consisting of
+virtually concatenated SONET STS-1s" (paper §2.1).  Circuit-based BoD
+services today use virtual concatenation (VCAT) of channels from a
+dedicated access pipe — this module provides that model, including the
+classic result that a 1 GbE needs an STS-1-21v (21 timeslots).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.legacy.sonet import SonetCircuit, SonetRing
+from repro.units import MBPS
+
+#: Usable payload of one STS-1 after SONET overhead, in bps.
+STS1_PAYLOAD_BPS = 49.536 * MBPS
+
+
+def sts1_count_for_rate(rate_bps: float) -> int:
+    """STS-1 members a VCAT group needs to carry ``rate_bps``.
+
+    A Gigabit Ethernet client (1 Gbps) yields the textbook STS-1-21v.
+
+    Raises:
+        ConfigurationError: for a non-positive rate.
+    """
+    if rate_bps <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate_bps}")
+    return math.ceil(rate_bps / STS1_PAYLOAD_BPS)
+
+
+@dataclass
+class EthernetPrivateLine:
+    """A rate-limited Ethernet service over a VCAT group.
+
+    Attributes:
+        epl_id: Unique id.
+        rate_bps: The committed Ethernet rate.
+        vcat_members: Number of STS-1 members in the VCAT group.
+        circuit: The underlying SONET circuit, once provisioned.
+    """
+
+    epl_id: str
+    rate_bps: float
+    vcat_members: int
+    circuit: Optional[SonetCircuit] = None
+
+    @property
+    def provisioned(self) -> bool:
+        """True once the underlying SONET circuit exists."""
+        return self.circuit is not None
+
+    @property
+    def transport_overhead(self) -> float:
+        """Fraction of transport capacity spent beyond the service rate.
+
+        E.g. a 1 Gbps EPL on 21 STS-1s consumes ~1.088 Gbps of SONET
+        line, an overhead of ~4 percent (plus SONET's own framing).
+        """
+        transport = self.vcat_members * STS1_PAYLOAD_BPS
+        return (transport - self.rate_bps) / self.rate_bps
+
+
+def provision_epl(
+    ring: SonetRing, epl_id: str, a: str, b: str, rate_bps: float
+) -> EthernetPrivateLine:
+    """Provision an Ethernet private line between two ring nodes.
+
+    Computes the VCAT group size for the requested rate and takes that
+    many STS-1 timeslots on the ring.
+
+    Raises:
+        ConfigurationError / CapacityExceededError: from the ring, e.g.
+            when the requested rate does not fit.
+    """
+    members = sts1_count_for_rate(rate_bps)
+    circuit = ring.provision(a, b, sts=members)
+    return EthernetPrivateLine(epl_id, rate_bps, members, circuit)

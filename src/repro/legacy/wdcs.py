@@ -1,0 +1,94 @@
+"""The Wideband Digital Cross-connect System (W-DCS) layer.
+
+The W-DCS layer sits above SONET and "cross-connects at greater than DS0
+but below DS3 rates", providing n x DS1 (1.5 Mbps) TDM connections
+(paper §2.1).  It only matters to this reproduction as the lowest rung
+of the Fig. 1 service ladder, so the model is a straightforward
+capacity-tracked cross-connect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import CapacityExceededError, ConfigurationError, ResourceError
+from repro.units import DS1_RATE
+
+
+@dataclass(frozen=True)
+class Ds1Connection:
+    """An n x DS1 connection through a W-DCS."""
+
+    connection_id: str
+    a: str
+    b: str
+    ds1_count: int
+
+    @property
+    def rate_bps(self) -> float:
+        """Aggregate rate of the bundled DS1s."""
+        return self.ds1_count * DS1_RATE
+
+
+class WidebandDcs:
+    """A W-DCS node cross-connecting DS1s between attached facilities.
+
+    Capacity is expressed in DS1 terminations; each connection consumes
+    one termination per endpoint facility.
+    """
+
+    def __init__(self, dcs_id: str, ds1_capacity: int = 672) -> None:
+        if ds1_capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1 DS1, got {ds1_capacity}"
+            )
+        self.dcs_id = dcs_id
+        self.ds1_capacity = ds1_capacity
+        self._used = 0
+        self._connections: Dict[str, Ds1Connection] = {}
+        self._counter = 0
+
+    @property
+    def ds1_free(self) -> int:
+        """Free DS1 terminations."""
+        return self.ds1_capacity - self._used
+
+    def connect(self, a: str, b: str, ds1_count: int = 1) -> Ds1Connection:
+        """Cross-connect ``ds1_count`` DS1s between facilities ``a`` and ``b``.
+
+        Raises:
+            ConfigurationError: for a == b or a non-positive count.
+            CapacityExceededError: if terminations are exhausted.
+        """
+        if a == b:
+            raise ConfigurationError("facilities must differ")
+        if ds1_count < 1:
+            raise ConfigurationError(f"ds1_count must be >= 1, got {ds1_count}")
+        needed = 2 * ds1_count
+        if needed > self.ds1_free:
+            raise CapacityExceededError(
+                f"{self.dcs_id}: need {needed} DS1 terminations, "
+                f"have {self.ds1_free}"
+            )
+        connection_id = f"DS1:{self.dcs_id}:{self._counter}"
+        self._counter += 1
+        connection = Ds1Connection(connection_id, a, b, ds1_count)
+        self._connections[connection_id] = connection
+        self._used += needed
+        return connection
+
+    def disconnect(self, connection_id: str) -> None:
+        """Release a connection's terminations.
+
+        Raises:
+            ResourceError: for an unknown connection.
+        """
+        connection = self._connections.pop(connection_id, None)
+        if connection is None:
+            raise ResourceError(f"unknown connection {connection_id!r}")
+        self._used -= 2 * connection.ds1_count
+
+    def connections(self) -> List[Ds1Connection]:
+        """All live connections."""
+        return list(self._connections.values())

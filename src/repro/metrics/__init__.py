@@ -1,0 +1,31 @@
+"""Measurement utilities for experiments.
+
+* :class:`~repro.metrics.collector.MetricsCollector` — counters, gauges,
+  and sample series with summary statistics;
+* :func:`~repro.metrics.collector.summarize` — mean / percentiles of a
+  sample list, used by the benchmark harnesses to print table rows.
+"""
+
+from repro.metrics.availability import (
+    availability_from_mtbf_mttr,
+    downtime_minutes_per_year,
+    fleet_availability,
+    measured_availability,
+    nines,
+)
+from repro.metrics.collector import MetricsCollector, Summary, summarize
+from repro.metrics.textchart import bar_chart, histogram, sparkline
+
+__all__ = [
+    "availability_from_mtbf_mttr",
+    "downtime_minutes_per_year",
+    "fleet_availability",
+    "measured_availability",
+    "nines",
+    "MetricsCollector",
+    "Summary",
+    "summarize",
+    "bar_chart",
+    "histogram",
+    "sparkline",
+]

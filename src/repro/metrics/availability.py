@@ -1,0 +1,101 @@
+"""Connection availability: the reliability arithmetic behind Table 1.
+
+Availability of a repairable system is ``MTBF / (MTBF + MTTR)``.  For an
+inter-DC connection the failure rate is set by fiber cuts (physics), but
+the MTTR is set by the *restoration mechanism* — 50 ms for 1+1, about a
+minute for GRIPhoN re-provisioning, 4–12 hours for manual repair.  These
+helpers compute both the analytic figure and the empirically measured
+availability of simulated connections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.connection import Connection
+from repro.errors import ConfigurationError
+
+
+def availability_from_mtbf_mttr(mtbf_s: float, mttr_s: float) -> float:
+    """Steady-state availability of a repairable system.
+
+    Raises:
+        ConfigurationError: for non-positive MTBF or negative MTTR.
+    """
+    if mtbf_s <= 0:
+        raise ConfigurationError(f"MTBF must be positive, got {mtbf_s}")
+    if mttr_s < 0:
+        raise ConfigurationError(f"MTTR must be >= 0, got {mttr_s}")
+    return mtbf_s / (mtbf_s + mttr_s)
+
+
+def downtime_minutes_per_year(availability: float) -> float:
+    """The ops-friendly rendering of an availability figure.
+
+    Raises:
+        ConfigurationError: for availability outside [0, 1].
+    """
+    if not 0 <= availability <= 1:
+        raise ConfigurationError(
+            f"availability must be in [0, 1], got {availability}"
+        )
+    return (1.0 - availability) * 365.25 * 24 * 60
+
+
+def nines(availability: float) -> float:
+    """How many nines an availability figure has (e.g. 0.999 -> 3.0).
+
+    Raises:
+        ConfigurationError: for availability outside [0, 1).
+    """
+    import math
+
+    if not 0 <= availability < 1:
+        raise ConfigurationError(
+            f"availability must be in [0, 1), got {availability}"
+        )
+    if availability == 0:
+        return 0.0
+    return -math.log10(1.0 - availability)
+
+
+def measured_availability(
+    connection: Connection, observed_from: float, observed_until: float
+) -> float:
+    """A connection's empirical availability over an observation window.
+
+    Uses the connection's accumulated outage seconds (closing any open
+    outage at the window end).
+
+    Raises:
+        ConfigurationError: for an empty window.
+    """
+    duration = observed_until - observed_from
+    if duration <= 0:
+        raise ConfigurationError(
+            f"window must be non-empty, got [{observed_from}, {observed_until}]"
+        )
+    outage = connection.total_outage_s
+    if connection.outage_started_at is not None:
+        outage += observed_until - connection.outage_started_at
+    outage = min(outage, duration)
+    return 1.0 - outage / duration
+
+
+def fleet_availability(
+    connections: Iterable[Connection],
+    observed_from: float,
+    observed_until: float,
+) -> float:
+    """Mean availability across a set of connections.
+
+    Raises:
+        ConfigurationError: for an empty set.
+    """
+    values = [
+        measured_availability(conn, observed_from, observed_until)
+        for conn in connections
+    ]
+    if not values:
+        raise ConfigurationError("need at least one connection")
+    return sum(values) / len(values)

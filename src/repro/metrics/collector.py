@@ -1,0 +1,98 @@
+"""Counters and sample series for experiment measurement."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} min={self.minimum:.4g} "
+            f"p50={self.p50:.4g} p95={self.p95:.4g} max={self.maximum:.4g}"
+        )
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not ordered:
+        raise ValueError("cannot take a percentile of no samples")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    weight = position - low
+    value = ordered[low] * (1 - weight) + ordered[high] * weight
+    # Clamp: float rounding in the interpolation must never push the
+    # result past the neighboring order statistics.
+    return min(max(value, ordered[low]), ordered[high])
+
+
+def summarize(samples: List[float]) -> Summary:
+    """Summary statistics of ``samples``.
+
+    Raises:
+        ValueError: for an empty list.
+    """
+    if not samples:
+        raise ValueError("cannot summarize zero samples")
+    ordered = sorted(samples)
+    return Summary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+    )
+
+
+class MetricsCollector:
+    """Named counters and sample series for one experiment run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._series: Dict[str, List[float]] = {}
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def record(self, name: str, value: float) -> None:
+        """Append ``value`` to sample series ``name``."""
+        self._series.setdefault(name, []).append(value)
+
+    def samples(self, name: str) -> List[float]:
+        """A copy of the sample series (empty if none)."""
+        return list(self._series.get(name, []))
+
+    def summary(self, name: str) -> Summary:
+        """Summary statistics of series ``name``.
+
+        Raises:
+            ValueError: if the series is empty or unknown.
+        """
+        return summarize(self._series.get(name, []))
+
+    def names(self) -> Dict[str, str]:
+        """All metric names, tagged 'counter' or 'series'."""
+        result = {name: "counter" for name in self._counters}
+        result.update({name: "series" for name in self._series})
+        return result

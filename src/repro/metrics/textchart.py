@@ -1,0 +1,98 @@
+"""Tiny text charts for experiment reports.
+
+The benchmarks and examples print their regenerated tables; for series
+with a visual trend (the Table 2 growth, the speedup frontier, blocking
+curves) a horizontal bar chart reads better than numbers alone.  Pure
+ASCII, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+Number = Union[int, float]
+
+
+def bar_chart(
+    series: Sequence[Tuple[str, Number]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labeled values as horizontal bars.
+
+    Args:
+        series: ``(label, value)`` pairs, drawn in order.
+        width: Character width of the longest bar.
+        unit: Suffix appended to each printed value.
+
+    Raises:
+        ConfigurationError: for an empty series, negative values, or a
+            non-positive width.
+    """
+    if not series:
+        raise ConfigurationError("need at least one data point")
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    values = [float(value) for _, value in series]
+    if any(value < 0 for value in values):
+        raise ConfigurationError("bar charts need non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label, _ in series)
+    lines = []
+    for (label, _), value in zip(series, values):
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def histogram(
+    samples: Sequence[Number],
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """Render a sample distribution as an ASCII histogram.
+
+    Raises:
+        ConfigurationError: for no samples or a non-positive bin count.
+    """
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    if bins < 1:
+        raise ConfigurationError(f"bins must be >= 1, got {bins}")
+    values = sorted(float(s) for s in samples)
+    low, high = values[0], values[-1]
+    if high == low:
+        return bar_chart([(f"{low:g}", len(values))], width=width)
+    span = (high - low) / bins
+    counts: Dict[int, int] = {}
+    for value in values:
+        index = min(bins - 1, int((value - low) / span))
+        counts[index] = counts.get(index, 0) + 1
+    series = []
+    for index in range(bins):
+        left = low + index * span
+        right = left + span
+        series.append((f"[{left:.3g}, {right:.3g})", counts.get(index, 0)))
+    return bar_chart(series, width=width)
+
+
+def sparkline(samples: Sequence[Number]) -> str:
+    """A one-line trend rendering using block characters.
+
+    Raises:
+        ConfigurationError: for an empty series.
+    """
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    blocks = " .:-=+*#%@"
+    values = [float(s) for s in samples]
+    low, high = min(values), max(values)
+    if high == low:
+        return blocks[len(blocks) // 2] * len(values)
+    scale = (len(blocks) - 1) / (high - low)
+    return "".join(blocks[int((v - low) * scale)] for v in values)

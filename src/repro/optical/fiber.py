@@ -1,0 +1,207 @@
+"""Per-link DWDM wavelength occupancy and fiber failure state.
+
+A :class:`DwdmLink` wraps one topology link with a wavelength grid: it
+tracks which channels are lit, who owns them, and whether the fiber is
+cut.  :class:`FiberPlant` is the collection of all DWDM links in the
+network plus SRLG-aware failure injection (a conduit cut fails every
+link sharing the SRLG).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ResourceError, TopologyError, WavelengthBlockedError
+from repro.optical.wavelength import WavelengthGrid
+from repro.topo.graph import Link, NetworkGraph
+
+
+class DwdmLink:
+    """Wavelength occupancy on one bidirectional fiber pair.
+
+    Channels are occupied by string *owners* (lightpath ids), enabling
+    diagnostics ("which connection holds channel 7 on NYC=CHI?") and
+    failure localization.
+    """
+
+    def __init__(self, link: Link, grid: WavelengthGrid) -> None:
+        self._link = link
+        self._grid = grid
+        self._owners: Dict[int, str] = {}
+        self._failed = False
+
+    @property
+    def link(self) -> Link:
+        """The underlying topology link."""
+        return self._link
+
+    @property
+    def grid(self) -> WavelengthGrid:
+        """The channel grid this link carries."""
+        return self._grid
+
+    @property
+    def failed(self) -> bool:
+        """True while the fiber is cut."""
+        return self._failed
+
+    @property
+    def occupied_channels(self) -> Set[int]:
+        """Channels currently lit on this link."""
+        return set(self._owners)
+
+    def free_channels(self) -> Set[int]:
+        """Channels available for a new lightpath."""
+        return {ch for ch in self._grid.channels() if ch not in self._owners}
+
+    def owner_of(self, channel: int) -> Optional[str]:
+        """The owner of ``channel``, or ``None`` if it is dark."""
+        self._grid.validate(channel)
+        return self._owners.get(channel)
+
+    def occupy(self, channel: int, owner: str) -> None:
+        """Light ``channel`` for ``owner``.
+
+        Raises:
+            WavelengthBlockedError: if the channel is already lit.
+            ResourceError: if the fiber is currently cut.
+        """
+        self._grid.validate(channel)
+        if self._failed:
+            raise ResourceError(f"link {self._link} is failed")
+        current = self._owners.get(channel)
+        if current is not None:
+            raise WavelengthBlockedError(
+                f"channel {channel} on {self._link} is held by {current!r}"
+            )
+        self._owners[channel] = owner
+
+    def release(self, channel: int, owner: str) -> None:
+        """Darken ``channel``, verifying the caller owns it.
+
+        Raises:
+            ResourceError: if the channel is dark or held by someone else.
+        """
+        self._grid.validate(channel)
+        current = self._owners.get(channel)
+        if current is None:
+            raise ResourceError(f"channel {channel} on {self._link} is not lit")
+        if current != owner:
+            raise ResourceError(
+                f"channel {channel} on {self._link} is held by {current!r}, "
+                f"not {owner!r}"
+            )
+        del self._owners[channel]
+
+    def fail(self) -> Set[str]:
+        """Cut the fiber; returns the owners whose channels were affected.
+
+        Occupancy is preserved so restoration logic can see what was
+        riding the link when it failed.
+        """
+        self._failed = True
+        return set(self._owners.values())
+
+    def repair(self) -> None:
+        """Repair the fiber."""
+        self._failed = False
+
+    def utilization(self) -> float:
+        """Fraction of channels lit, in [0, 1]."""
+        return len(self._owners) / self._grid.size
+
+
+class FiberPlant:
+    """All DWDM links of a network, with SRLG-aware failure injection."""
+
+    def __init__(self, graph: NetworkGraph, grid: Optional[WavelengthGrid] = None) -> None:
+        self._graph = graph
+        self._grid = grid or WavelengthGrid()
+        self._links: Dict[Tuple[str, str], DwdmLink] = {
+            link.key: DwdmLink(link, self._grid) for link in graph.links
+        }
+        #: Callbacks invoked with (link_key, affected_owners) on each cut.
+        self.on_failure: List[Callable[[Tuple[str, str], Set[str]], None]] = []
+
+    @property
+    def graph(self) -> NetworkGraph:
+        """The underlying topology."""
+        return self._graph
+
+    @property
+    def grid(self) -> WavelengthGrid:
+        """The shared wavelength grid."""
+        return self._grid
+
+    def dwdm_link(self, a: str, b: str) -> DwdmLink:
+        """The DWDM state for the link joining ``a`` and ``b``.
+
+        Raises:
+            TopologyError: if no such link exists.
+        """
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self._links[key]
+        except KeyError:
+            raise TopologyError(f"no DWDM link between {a!r} and {b!r}") from None
+
+    def links_on_path(self, path: List[str]) -> List[DwdmLink]:
+        """DWDM link states along a node path."""
+        return [self.dwdm_link(u, v) for u, v in zip(path, path[1:])]
+
+    def path_is_up(self, path: List[str]) -> bool:
+        """True if no link along the path is failed."""
+        return all(not link.failed for link in self.links_on_path(path))
+
+    def common_free_channels(self, path: List[str]) -> Set[int]:
+        """Channels free on *every* link of the path.
+
+        This is the wavelength-continuity constraint: without OEO
+        conversion a lightpath must use one channel end to end.
+        """
+        links = self.links_on_path(path)
+        if not links:
+            return set(self._grid.channels())
+        free = links[0].free_channels()
+        for link in links[1:]:
+            free &= link.free_channels()
+        return free
+
+    # -- failure injection ------------------------------------------------------
+
+    def cut_link(self, a: str, b: str) -> Set[str]:
+        """Cut a single fiber link; returns affected owners and notifies."""
+        dwdm = self.dwdm_link(a, b)
+        affected = dwdm.fail()
+        for callback in self.on_failure:
+            callback(dwdm.link.key, affected)
+        return affected
+
+    def cut_srlg(self, srlg: str) -> Set[str]:
+        """Cut every link in a shared-risk group (a conduit cut).
+
+        Returns the union of affected owners across all failed links.
+        """
+        links = self._graph.links_in_srlg(srlg)
+        if not links:
+            raise TopologyError(f"unknown SRLG {srlg!r}")
+        affected: Set[str] = set()
+        for link in links:
+            affected |= self.cut_link(link.a, link.b)
+        return affected
+
+    def repair_link(self, a: str, b: str) -> None:
+        """Repair a single fiber link."""
+        self.dwdm_link(a, b).repair()
+
+    def repair_srlg(self, srlg: str) -> None:
+        """Repair every link in a shared-risk group."""
+        links = self._graph.links_in_srlg(srlg)
+        if not links:
+            raise TopologyError(f"unknown SRLG {srlg!r}")
+        for link in links:
+            self.repair_link(link.a, link.b)
+
+    def failed_links(self) -> List[Tuple[str, str]]:
+        """Keys of all currently failed links."""
+        return [key for key, dwdm in self._links.items() if dwdm.failed]

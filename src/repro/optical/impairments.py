@@ -1,0 +1,94 @@
+"""Optical reach model and regenerator placement.
+
+"Optical-to-Electrical-to-Optical (OEO) regeneration is needed when the
+distance between terminating nodes exceeds a limit for adequate signal
+quality, known as the optical reach" (paper §2.1).  We model reach as a
+per-line-rate distance budget: higher rates tolerate less accumulated
+impairment, so their reach is shorter.  The :class:`ReachModel` decides
+where along a route regenerators must be inserted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError, SignalError
+from repro.topo.graph import NetworkGraph
+from repro.units import GBPS
+
+#: Default optical reach in km by line rate (bps).  Representative values
+#: for deployed long-haul systems of the paper's era: 10G NRZ reaches
+#: furthest, 40G less, 100G coherent in between.
+DEFAULT_REACH_KM: Dict[float, float] = {
+    10 * GBPS: 2500.0,
+    40 * GBPS: 1500.0,
+    100 * GBPS: 2000.0,
+}
+
+
+class ReachModel:
+    """Distance-budget reach model with greedy regen placement."""
+
+    def __init__(self, reach_km_by_rate: Dict[float, float] = None) -> None:
+        table = dict(DEFAULT_REACH_KM if reach_km_by_rate is None else reach_km_by_rate)
+        if not table:
+            raise ConfigurationError("reach table must not be empty")
+        for rate, reach in table.items():
+            if rate <= 0 or reach <= 0:
+                raise ConfigurationError(
+                    f"reach table entries must be positive, got {rate}: {reach}"
+                )
+        self._table = table
+
+    def reach_km(self, rate_bps: float) -> float:
+        """Optical reach for a line rate.
+
+        Raises:
+            SignalError: if the rate has no reach entry.
+        """
+        try:
+            return self._table[rate_bps]
+        except KeyError:
+            known = ", ".join(f"{r / GBPS:g}G" for r in sorted(self._table))
+            raise SignalError(
+                f"no reach entry for line rate {rate_bps / GBPS:g}G "
+                f"(known rates: {known})"
+            ) from None
+
+    def needs_regen(self, path_km: float, rate_bps: float) -> bool:
+        """Whether a route of ``path_km`` exceeds the rate's reach."""
+        return path_km > self.reach_km(rate_bps)
+
+    def regen_sites(
+        self, graph: NetworkGraph, path: List[str], rate_bps: float
+    ) -> List[str]:
+        """Pick intermediate nodes where the signal must be regenerated.
+
+        Walks the path greedily: whenever the accumulated distance since
+        the last OEO point would exceed the reach, a regen is placed at
+        the previous node.  Returns the (possibly empty) list of regen
+        node names in path order.
+
+        Raises:
+            SignalError: if a single link is longer than the reach (no
+                placement can fix that — the route is simply unusable at
+                this rate).
+        """
+        if len(path) < 2:
+            return []
+        reach = self.reach_km(rate_bps)
+        sites: List[str] = []
+        since_oeo = 0.0
+        for u, v in zip(path, path[1:]):
+            hop_km = graph.link_between(u, v).length_km
+            if hop_km > reach:
+                raise SignalError(
+                    f"link {u}-{v} ({hop_km} km) exceeds the "
+                    f"{rate_bps / GBPS:g}G reach of {reach} km"
+                )
+            if since_oeo + hop_km > reach:
+                sites.append(u)
+                since_oeo = hop_km
+            else:
+                since_oeo += hop_km
+        return sites

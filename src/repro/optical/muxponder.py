@@ -1,0 +1,133 @@
+"""Muxponders and low-speed multiplexers.
+
+Two aggregation devices from the testbed (paper §3):
+
+* the **10G/40G muxponder** has four 10 Gbps client ports and one
+  40 Gbps line port — it emulates the customer's network-terminating
+  equipment and the "fat pipe" metro access into the core;
+* the **1G/10G low-speed mux** aggregates Gigabit-Ethernet feeds from
+  the customer's Ethernet switches onto a 10 Gbps channelized line.
+
+Both are *static* TDM multiplexers: a client port maps to a fixed slice
+of the line, so unlike the OTN switch they cannot re-groom traffic — the
+source of the packing inefficiency measured in experiment X3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CapacityExceededError, ConfigurationError, EquipmentError
+from repro.units import GBPS
+
+
+class Muxponder:
+    """A fixed client-to-line TDM multiplexer.
+
+    The default shape is the testbed's 10G/40G MXP: four 10G client
+    ports feeding one 40G line.
+    """
+
+    def __init__(
+        self,
+        mxp_id: str,
+        client_rate_bps: float = 10 * GBPS,
+        client_ports: int = 4,
+        line_rate_bps: float = 40 * GBPS,
+    ) -> None:
+        if client_rate_bps <= 0 or line_rate_bps <= 0:
+            raise ConfigurationError("rates must be positive")
+        if client_ports < 1:
+            raise ConfigurationError(f"need >= 1 client port, got {client_ports}")
+        if client_ports * client_rate_bps > line_rate_bps:
+            raise ConfigurationError(
+                f"{client_ports} x {client_rate_bps / GBPS:g}G clients "
+                f"oversubscribe a {line_rate_bps / GBPS:g}G line"
+            )
+        self.mxp_id = mxp_id
+        self.client_rate_bps = client_rate_bps
+        self.client_port_count = client_ports
+        self.line_rate_bps = line_rate_bps
+        self._owners: Dict[int, str] = {}
+
+    def occupy_client_port(self, port: int, owner: str) -> None:
+        """Claim client port ``port`` for ``owner``.
+
+        Raises:
+            EquipmentError: for an unknown or busy port.
+        """
+        self._validate(port)
+        current = self._owners.get(port)
+        if current is not None:
+            raise EquipmentError(
+                f"{self.mxp_id} client port {port} is held by {current!r}"
+            )
+        self._owners[port] = owner
+
+    def release_client_port(self, port: int, owner: str) -> None:
+        """Release client port ``port``.
+
+        Raises:
+            EquipmentError: if idle or held by someone else.
+        """
+        self._validate(port)
+        current = self._owners.get(port)
+        if current is None:
+            raise EquipmentError(f"{self.mxp_id} client port {port} is idle")
+        if current != owner:
+            raise EquipmentError(
+                f"{self.mxp_id} client port {port} is held by {current!r}, "
+                f"not {owner!r}"
+            )
+        del self._owners[port]
+
+    def allocate_client_port(self, owner: str) -> int:
+        """Claim the lowest-numbered free client port; returns its index.
+
+        Raises:
+            CapacityExceededError: if every client port is busy.
+        """
+        for port in range(self.client_port_count):
+            if port not in self._owners:
+                self._owners[port] = owner
+                return port
+        raise CapacityExceededError(f"{self.mxp_id} has no free client port")
+
+    def free_client_ports(self) -> List[int]:
+        """Indices of idle client ports."""
+        return [p for p in range(self.client_port_count) if p not in self._owners]
+
+    def owner_of(self, port: int) -> Optional[str]:
+        """Who holds client port ``port``, or None."""
+        self._validate(port)
+        return self._owners.get(port)
+
+    def line_fill(self) -> float:
+        """Fraction of the line rate actually carrying client traffic."""
+        return (len(self._owners) * self.client_rate_bps) / self.line_rate_bps
+
+    def _validate(self, port: int) -> None:
+        if not 0 <= port < self.client_port_count:
+            raise EquipmentError(
+                f"{self.mxp_id} has no client port {port} "
+                f"(ports: 0..{self.client_port_count - 1})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Muxponder({self.mxp_id}, "
+            f"{self.client_port_count}x{self.client_rate_bps / GBPS:g}G -> "
+            f"{self.line_rate_bps / GBPS:g}G, used={len(self._owners)})"
+        )
+
+
+class LowSpeedMux(Muxponder):
+    """The testbed's 1G/10G multiplexer: ten 1G feeds onto a 10G line."""
+
+    def __init__(self, mux_id: str) -> None:
+        super().__init__(
+            mux_id,
+            client_rate_bps=1 * GBPS,
+            client_ports=10,
+            line_rate_bps=10 * GBPS,
+        )

@@ -1,0 +1,130 @@
+"""OSNR-based optical reach: the physics under the distance budgets.
+
+The plain :class:`~repro.optical.impairments.ReachModel` uses per-rate
+distance budgets.  This module derives those budgets from first-order
+amplifier physics: each EDFA span adds ASE noise, so the optical
+signal-to-noise ratio at the receiver falls with ``10 log10(N_spans)``,
+and a signal is viable only while OSNR stays above the rate's receiver
+requirement.  Higher line rates need more OSNR (bigger symbol alphabets
+and bandwidths), which is *why* 40G reaches less far than 10G.
+
+The standard link-budget formula (0.1 nm reference bandwidth)::
+
+    OSNR_dB = 58 + P_launch_dBm - NF_dB - L_span_dB - 10 log10(N_spans)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.errors import ConfigurationError, SignalError
+from repro.units import GBPS
+
+#: Receiver OSNR requirements in dB by line rate, tuned so the derived
+#: reaches land near the deployed-system distance budgets used by
+#: :class:`ReachModel` (10G ~2500 km, 40G ~1500 km, 100G ~2000 km).
+DEFAULT_REQUIRED_OSNR_DB: Dict[float, float] = {
+    10 * GBPS: 17.5,
+    40 * GBPS: 19.8,
+    100 * GBPS: 18.5,  # coherent detection buys back margin
+}
+
+
+class OsnrModel:
+    """First-order ASE-noise link budget."""
+
+    def __init__(
+        self,
+        launch_power_dbm: float = 0.0,
+        noise_figure_db: float = 5.5,
+        span_km: float = 80.0,
+        loss_db_per_km: float = 0.25,
+        required_osnr_db: Dict[float, float] = None,
+    ) -> None:
+        if span_km <= 0 or loss_db_per_km <= 0:
+            raise ConfigurationError(
+                "span length and fiber loss must be positive"
+            )
+        self.launch_power_dbm = launch_power_dbm
+        self.noise_figure_db = noise_figure_db
+        self.span_km = span_km
+        self.loss_db_per_km = loss_db_per_km
+        self._required = dict(
+            DEFAULT_REQUIRED_OSNR_DB
+            if required_osnr_db is None
+            else required_osnr_db
+        )
+        if not self._required:
+            raise ConfigurationError("required-OSNR table must not be empty")
+
+    # -- budget ------------------------------------------------------------------
+
+    @property
+    def span_loss_db(self) -> float:
+        """Loss of one amplified span."""
+        return self.span_km * self.loss_db_per_km
+
+    def span_count(self, total_km: float) -> int:
+        """Amplified spans on a route of ``total_km`` (at least 1)."""
+        if total_km <= 0:
+            raise ConfigurationError(f"distance must be positive, got {total_km}")
+        return max(1, math.ceil(total_km / self.span_km))
+
+    def osnr_db(self, total_km: float) -> float:
+        """Receiver OSNR after ``total_km`` of amplified fiber."""
+        spans = self.span_count(total_km)
+        return (
+            58.0
+            + self.launch_power_dbm
+            - self.noise_figure_db
+            - self.span_loss_db
+            - 10.0 * math.log10(spans)
+        )
+
+    # -- requirements -----------------------------------------------------------
+
+    def required_osnr_db(self, rate_bps: float) -> float:
+        """The receiver requirement for a line rate.
+
+        Raises:
+            SignalError: for a rate with no requirement entry.
+        """
+        try:
+            return self._required[rate_bps]
+        except KeyError:
+            known = ", ".join(f"{r / GBPS:g}G" for r in sorted(self._required))
+            raise SignalError(
+                f"no OSNR requirement for {rate_bps / GBPS:g}G "
+                f"(known rates: {known})"
+            ) from None
+
+    def viable(self, total_km: float, rate_bps: float) -> bool:
+        """Whether a route of this length closes at this rate."""
+        return self.osnr_db(total_km) >= self.required_osnr_db(rate_bps)
+
+    def max_reach_km(self, rate_bps: float) -> float:
+        """The derived distance budget for a rate.
+
+        Solves the budget for the largest integer span count meeting the
+        requirement, then converts back to kilometers.
+        """
+        margin = (
+            58.0
+            + self.launch_power_dbm
+            - self.noise_figure_db
+            - self.span_loss_db
+            - self.required_osnr_db(rate_bps)
+        )
+        if margin < 0:
+            raise SignalError(
+                f"{rate_bps / GBPS:g}G cannot close even one span "
+                f"(margin {margin:.1f} dB)"
+            )
+        max_spans = int(10 ** (margin / 10.0))
+        return max(1, max_spans) * self.span_km
+
+    def reach_table_km(self) -> Dict[float, float]:
+        """Distance budgets for every known rate — a drop-in table for
+        :class:`~repro.optical.impairments.ReachModel`."""
+        return {rate: self.max_reach_km(rate) for rate in self._required}

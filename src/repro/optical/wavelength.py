@@ -1,0 +1,81 @@
+"""The ITU-T DWDM channel grid.
+
+A modern DWDM system carries 40–100 wavelengths on the C band (the paper,
+§2.1).  We model a fixed 50 GHz grid anchored at 193.1 THz: channel ``i``
+sits at ``193.1 THz + i * 50 GHz``.  Channels are identified by integer
+index throughout the library; this module converts between index,
+frequency, and nanometer wavelength for display.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+#: Anchor frequency of the ITU grid in THz.
+ITU_ANCHOR_THZ = 193.1
+
+#: Grid spacing in THz (50 GHz).
+GRID_SPACING_THZ = 0.05
+
+#: Speed of light, used for frequency -> wavelength conversion (nm * THz).
+_C_NM_THZ = 299_792.458
+
+
+class WavelengthGrid:
+    """A fixed DWDM channel grid of ``size`` channels.
+
+    Channel indices run from 0 to ``size - 1``.  The default of 80
+    channels matches a modern C-band system (paper: "anywhere from 40 to
+    100 wavelengths").
+    """
+
+    def __init__(self, size: int = 80) -> None:
+        if size < 1:
+            raise ConfigurationError(f"grid size must be >= 1, got {size}")
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        """Number of channels in the grid."""
+        return self._size
+
+    def channels(self) -> Iterator[int]:
+        """Iterate all channel indices in ascending order."""
+        return iter(range(self._size))
+
+    def validate(self, channel: int) -> int:
+        """Return ``channel`` if it is on the grid.
+
+        Raises:
+            ConfigurationError: for an off-grid index.
+        """
+        if not 0 <= channel < self._size:
+            raise ConfigurationError(
+                f"channel {channel} is off the grid [0, {self._size})"
+            )
+        return channel
+
+    def frequency_thz(self, channel: int) -> float:
+        """Center frequency of ``channel`` in THz."""
+        self.validate(channel)
+        return ITU_ANCHOR_THZ + channel * GRID_SPACING_THZ
+
+    def wavelength_nm(self, channel: int) -> float:
+        """Center wavelength of ``channel`` in nanometers."""
+        return _C_NM_THZ / self.frequency_thz(channel)
+
+    def channel_name(self, channel: int) -> str:
+        """Human-readable channel label, e.g. ``'ch012 (1549.32 nm)'``."""
+        self.validate(channel)
+        return f"ch{channel:03d} ({self.wavelength_nm(channel):.2f} nm)"
+
+    def __contains__(self, channel: object) -> bool:
+        return isinstance(channel, int) and 0 <= channel < self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"WavelengthGrid(size={self._size})"

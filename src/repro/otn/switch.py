@@ -1,0 +1,130 @@
+"""OTN switches: electrical cross-connects at ODU0 granularity.
+
+An OTN switch sits at a node with *client ports* (where the FXC delivers
+customer signals) and *line attachments* (OTN lines toward neighboring
+switches).  It cross-connects client signals into tributary slots and
+slots between lines — the grooming capability the FXC lacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CapacityExceededError, ConfigurationError, EquipmentError
+from repro.otn.line import OtnLine
+
+
+class OtnSwitch:
+    """The OTN switch at one node."""
+
+    def __init__(self, node: str, client_port_count: int = 16) -> None:
+        if client_port_count < 1:
+            raise ConfigurationError(
+                f"need >= 1 client port, got {client_port_count}"
+            )
+        self.node = node
+        self.client_port_count = client_port_count
+        self._client_owner: Dict[int, str] = {}
+        self._lines: Dict[str, OtnLine] = {}
+
+    # -- client ports -----------------------------------------------------------
+
+    def claim_client_port(self, owner: str) -> int:
+        """Claim the lowest free client port; returns its index.
+
+        Raises:
+            CapacityExceededError: if every port is taken.
+        """
+        for port in range(self.client_port_count):
+            if port not in self._client_owner:
+                self._client_owner[port] = owner
+                return port
+        raise CapacityExceededError(
+            f"OTN switch at {self.node} has no free client port"
+        )
+
+    def release_client_port(self, port: int, owner: str) -> None:
+        """Release a client port.
+
+        Raises:
+            EquipmentError: if the port is idle, unknown, or not ``owner``'s.
+        """
+        if not 0 <= port < self.client_port_count:
+            raise EquipmentError(
+                f"OTN switch at {self.node} has no client port {port}"
+            )
+        current = self._client_owner.get(port)
+        if current is None:
+            raise EquipmentError(
+                f"OTN switch at {self.node} client port {port} is idle"
+            )
+        if current != owner:
+            raise EquipmentError(
+                f"OTN switch at {self.node} client port {port} is held by "
+                f"{current!r}, not {owner!r}"
+            )
+        del self._client_owner[port]
+
+    def free_client_ports(self) -> List[int]:
+        """Indices of idle client ports."""
+        return [
+            p for p in range(self.client_port_count) if p not in self._client_owner
+        ]
+
+    # -- lines ----------------------------------------------------------------
+
+    def attach_line(self, line: OtnLine) -> None:
+        """Attach an OTN line that terminates at this switch.
+
+        Raises:
+            ConfigurationError: if the line does not terminate here or a
+                line with the same id is already attached.
+        """
+        if self.node not in (line.a, line.b):
+            raise ConfigurationError(
+                f"line {line.line_id} ({line.a}-{line.b}) does not "
+                f"terminate at {self.node}"
+            )
+        if line.line_id in self._lines:
+            raise ConfigurationError(f"line {line.line_id} already attached")
+        self._lines[line.line_id] = line
+
+    @property
+    def lines(self) -> List[OtnLine]:
+        """All attached lines."""
+        return list(self._lines.values())
+
+    def lines_toward(self, neighbor: str) -> List[OtnLine]:
+        """Attached lines whose far end is ``neighbor``."""
+        return [
+            line
+            for line in self._lines.values()
+            if neighbor in (line.a, line.b) and line.a != line.b
+            and self.node in (line.a, line.b)
+            and (line.a == neighbor or line.b == neighbor)
+        ]
+
+    def best_line_toward(
+        self, neighbor: str, slots_needed: int
+    ) -> Optional[OtnLine]:
+        """The most-filled working line toward ``neighbor`` that still fits.
+
+        Best-fit packing concentrates circuits on already-used wavelengths,
+        which is exactly the packing efficiency the paper credits the OTN
+        layer with (§2.1).  Returns ``None`` if no line fits.
+        """
+        candidates = [
+            line
+            for line in self.lines_toward(neighbor)
+            if not line.failed and line.free_slot_count() >= slots_needed
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda line: (line.utilization(), line.line_id))
+
+    def __repr__(self) -> str:
+        return (
+            f"OtnSwitch({self.node}, clients="
+            f"{len(self._client_owner)}/{self.client_port_count}, "
+            f"lines={len(self._lines)})"
+        )

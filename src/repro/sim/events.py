@@ -1,0 +1,60 @@
+"""Event objects managed by the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+    increasing counter assigned at scheduling time, giving deterministic
+    FIFO ordering among simultaneous events.
+
+    Attributes:
+        time: Simulation time at which the event fires.
+        seq: Scheduling sequence number (tiebreak for equal times).
+        callback: Callable invoked when the event fires.
+        args: Positional arguments passed to the callback.
+        label: Optional human-readable tag used in traces.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "label", "_canceled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self._canceled = False
+
+    @property
+    def canceled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._canceled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self._canceled = True
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was canceled."""
+        if not self._canceled:
+            self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "canceled" if self._canceled else "pending"
+        name = self.label or getattr(self.callback, "__name__", "callback")
+        return f"Event(t={self.time:.6g}, seq={self.seq}, {name}, {state})"

@@ -1,0 +1,150 @@
+"""The discrete-event simulator: a virtual clock plus an event heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, do_something, "arg")
+        sim.run(until=100.0)
+
+    Events with equal timestamps fire in the order they were scheduled.
+    Time never moves backwards; scheduling into the past raises
+    :class:`~repro.errors.SimulationError`.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._seq = 0
+        self._heap: List[Event] = []
+        self._running = False
+        self._trace: List[Tuple[float, str]] = []
+        self._trace_enabled = False
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-canceled events in the queue."""
+        return sum(1 for event in self._heap if not event.canceled)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may cancel.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is before the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time, self._seq, callback, args, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.canceled:
+                continue
+            self._now = event.time
+            if self._trace_enabled and event.label:
+                self._trace.append((self._now, event.label))
+            event.fire()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        Args:
+            until: Stop once the next event is later than this time; the
+                clock is then advanced to exactly ``until``.  ``None`` means
+                run to exhaustion.
+            max_events: Safety valve against runaway event loops.
+
+        Returns:
+            The number of events fired.
+
+        Raises:
+            SimulationError: on re-entrant ``run`` or if ``max_events`` is hit.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.canceled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+        return fired
+
+    # -- tracing ------------------------------------------------------------
+
+    def enable_trace(self) -> None:
+        """Record ``(time, label)`` for every labeled event that fires."""
+        self._trace_enabled = True
+
+    @property
+    def trace(self) -> List[Tuple[float, str]]:
+        """The recorded trace (empty unless :meth:`enable_trace` was called)."""
+        return list(self._trace)

@@ -1,0 +1,26 @@
+"""Network topologies: the generic graph model plus concrete builders.
+
+* :mod:`repro.topo.graph` — nodes, links, SRLGs, and path search.
+* :mod:`repro.topo.testbed` — the paper's Fig. 4 laboratory testbed.
+* :mod:`repro.topo.backbone` — a synthetic US inter-city backbone used for
+  the scaling/planning experiments that the 4-node testbed is too small for.
+"""
+
+from repro.topo.graph import Link, NetworkGraph, Node
+from repro.topo.testbed import (
+    TESTBED_PREMISES,
+    TESTBED_ROADMS,
+    build_testbed_graph,
+)
+from repro.topo.backbone import BACKBONE_CITIES, build_backbone_graph
+
+__all__ = [
+    "Link",
+    "NetworkGraph",
+    "Node",
+    "TESTBED_PREMISES",
+    "TESTBED_ROADMS",
+    "build_testbed_graph",
+    "BACKBONE_CITIES",
+    "build_backbone_graph",
+]

@@ -1,0 +1,89 @@
+"""A synthetic US inter-city backbone for scaling experiments.
+
+The Fig. 4 testbed has only four ROADMs, which is too small to exercise
+optical reach, regenerator placement, wavelength blocking, or carrier-scale
+resource planning.  This module builds a 12-node continental backbone with
+realistic inter-city distances (great-circle-flavored, rounded) so those
+experiments have something to chew on.  The node set and link distances
+are synthetic but representative of a US long-haul carrier mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.topo.graph import Link, NetworkGraph, Node
+
+#: City name -> region tag.  Twelve PoPs spanning the continental US.
+BACKBONE_CITIES: Dict[str, str] = {
+    "NYC": "east",
+    "DCA": "east",
+    "ATL": "east",
+    "MIA": "east",
+    "CHI": "central",
+    "STL": "central",
+    "DFW": "central",
+    "HOU": "central",
+    "DEN": "west",
+    "PHX": "west",
+    "LAX": "west",
+    "SEA": "west",
+}
+
+#: Inter-city fiber routes with approximate route-kilometers.  A few pairs
+#: of links share a conduit SRLG to model real-world shared risk (e.g. two
+#: routes leaving a city through the same river crossing).
+_BACKBONE_LINKS: Tuple[Tuple[str, str, float, Tuple[str, ...]], ...] = (
+    ("NYC", "DCA", 370.0, ("conduit:northeast",)),
+    ("NYC", "CHI", 1270.0, ("conduit:northeast",)),
+    ("DCA", "ATL", 870.0, ()),
+    ("ATL", "MIA", 980.0, ()),
+    ("ATL", "DFW", 1160.0, ()),
+    ("ATL", "STL", 750.0, ()),
+    ("CHI", "STL", 480.0, ()),
+    ("CHI", "DEN", 1480.0, ()),
+    ("CHI", "SEA", 3300.0, ()),
+    ("STL", "DFW", 880.0, ()),
+    ("DFW", "HOU", 390.0, ("conduit:texas",)),
+    ("DFW", "PHX", 1420.0, ("conduit:texas",)),
+    ("HOU", "MIA", 1900.0, ()),
+    ("DEN", "PHX", 950.0, ()),
+    ("DEN", "SEA", 2100.0, ()),
+    ("PHX", "LAX", 600.0, ()),
+    ("LAX", "SEA", 1850.0, ()),
+    ("DEN", "STL", 1360.0, ()),
+)
+
+#: Data-center premises attached to backbone PoPs for workload experiments.
+BACKBONE_DATA_CENTERS: Dict[str, str] = {
+    "DC-EAST": "NYC",
+    "DC-SOUTH": "ATL",
+    "DC-CENTRAL": "DFW",
+    "DC-WEST": "LAX",
+    "DC-NORTHWEST": "SEA",
+}
+
+
+def build_backbone_graph(with_data_centers: bool = True) -> NetworkGraph:
+    """Build the synthetic 12-city backbone.
+
+    Args:
+        with_data_centers: Also attach the five data-center premises nodes
+            via 25 km metro access links.
+
+    Returns:
+        A connected :class:`NetworkGraph` with per-link SRLG tags.
+    """
+    graph = NetworkGraph()
+    for city, region in BACKBONE_CITIES.items():
+        graph.add_node(Node(city, kind="roadm", region=region))
+    for a, b, km, shared in _BACKBONE_LINKS:
+        srlgs = frozenset({f"srlg:{a}={b}", *shared})
+        graph.add_link(Link(a, b, length_km=km, srlgs=srlgs))
+    if with_data_centers:
+        for dc, pop in BACKBONE_DATA_CENTERS.items():
+            graph.add_node(Node(dc, kind="premises", region="datacenter"))
+            graph.add_link(
+                Link(dc, pop, length_km=25.0, srlgs=frozenset({f"srlg:access:{dc}"}))
+            )
+    return graph

@@ -1,0 +1,129 @@
+"""Random topology generation for scaling studies.
+
+The Fig. 4 testbed and the 12-city backbone are fixed; scaling studies
+(blocking vs network size, planner behavior on unfamiliar meshes) need
+families of random-but-realistic carrier topologies.  The generator
+follows a Waxman-flavored recipe: scatter PoPs on a plane, connect with
+probability decaying in distance, then patch connectivity and enforce a
+minimum degree of 2 so every span is restorable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.randomness import RandomStreams
+from repro.topo.graph import Link, NetworkGraph, Node
+
+
+def generate_backbone(
+    streams: RandomStreams,
+    node_count: int = 16,
+    plane_km: float = 4000.0,
+    alpha: float = 0.4,
+    beta: float = 0.35,
+    stream_name: str = "topo-gen",
+) -> NetworkGraph:
+    """Generate a random two-connected carrier backbone.
+
+    Args:
+        streams: Random substreams (deterministic per master seed).
+        node_count: Number of PoPs (>= 3).
+        plane_km: Side of the square the PoPs scatter over.
+        alpha: Waxman distance-decay parameter (larger = longer links).
+        beta: Waxman base link probability (larger = denser mesh).
+
+    Returns:
+        A connected :class:`NetworkGraph` where every node has degree
+        >= 2 and every link carries an SRLG tag.
+
+    Raises:
+        ConfigurationError: for invalid parameters.
+    """
+    if node_count < 3:
+        raise ConfigurationError(f"need >= 3 nodes, got {node_count}")
+    if plane_km <= 0:
+        raise ConfigurationError(f"plane must be positive, got {plane_km}")
+    if not (0 < alpha <= 1 and 0 < beta <= 1):
+        raise ConfigurationError("alpha and beta must be in (0, 1]")
+
+    positions: List[Tuple[float, float]] = [
+        (
+            streams.uniform(f"{stream_name}:x", 0.0, plane_km),
+            streams.uniform(f"{stream_name}:y", 0.0, plane_km),
+        )
+        for _ in range(node_count)
+    ]
+    graph = NetworkGraph()
+    for index in range(node_count):
+        graph.add_node(Node(f"P{index:02d}", kind="roadm"))
+
+    max_distance = plane_km * math.sqrt(2)
+
+    def distance(i: int, j: int) -> float:
+        (xi, yi), (xj, yj) = positions[i], positions[j]
+        return math.hypot(xi - xj, yi - yj)
+
+    def add(i: int, j: int) -> None:
+        a, b = f"P{i:02d}", f"P{j:02d}"
+        km = max(25.0, round(distance(i, j), 1))
+        graph.add_link(
+            Link(a, b, length_km=km, srlgs=frozenset({f"srlg:{a}={b}"}))
+        )
+
+    # Waxman pass.
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            probability = beta * math.exp(
+                -distance(i, j) / (alpha * max_distance)
+            )
+            if streams.uniform(f"{stream_name}:p", 0.0, 1.0) < probability:
+                add(i, j)
+
+    # Connectivity patch: chain any disconnected components together
+    # through their nearest node pair.
+    def components() -> List[List[int]]:
+        seen: set = set()
+        result = []
+        for start in range(node_count):
+            if start in seen:
+                continue
+            stack, comp = [start], []
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                comp.append(current)
+                for neighbor in graph.neighbors(f"P{current:02d}"):
+                    stack.append(int(neighbor[1:]))
+            result.append(comp)
+        return result
+
+    comps = components()
+    while len(comps) > 1:
+        best = None
+        for i in comps[0]:
+            for j in comps[1]:
+                d = distance(i, j)
+                if best is None or d < best[0]:
+                    best = (d, i, j)
+        add(best[1], best[2])
+        comps = components()
+
+    # Degree patch: every PoP gets at least two distinct spans, so a
+    # single cut never isolates it.
+    for i in range(node_count):
+        name = f"P{i:02d}"
+        while graph.degree(name) < 2:
+            candidates = sorted(
+                (
+                    (distance(i, j), j)
+                    for j in range(node_count)
+                    if j != i and f"P{j:02d}" not in graph.neighbors(name)
+                ),
+            )
+            add(i, candidates[0][1])
+    return graph

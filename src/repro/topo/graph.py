@@ -1,0 +1,391 @@
+"""The network graph: nodes, bidirectional fiber links, and path search.
+
+The graph is layer-agnostic: the DWDM layer, the OTN layer, and the legacy
+SONET layer each interpret the same node/link structure through their own
+equipment models.  Links are *bidirectional fiber pairs* (the paper's
+DWDM links), carry a length in kilometers for optical-reach computations,
+and may belong to shared-risk link groups (SRLGs) so a single conduit cut
+can take down several logical links at once.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import NoPathError, TopologyError
+
+
+@dataclass(frozen=True)
+class Node:
+    """A network location.
+
+    Attributes:
+        name: Unique node name, e.g. ``'ROADM-I'`` or ``'DC-A'``.
+        kind: Role tag: ``'roadm'``, ``'premises'``, ``'pop'``, etc.
+        region: Optional grouping label (metro area / city).
+    """
+
+    name: str
+    kind: str = "roadm"
+    region: str = ""
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bidirectional fiber pair between two nodes.
+
+    Attributes:
+        a: One endpoint node name.
+        b: The other endpoint node name.
+        length_km: Fiber route distance, used by the optical reach model.
+        srlgs: Shared-risk link group identifiers (conduits, bridges...).
+    """
+
+    a: str
+    b: str
+    length_km: float = 100.0
+    srlgs: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"self-loop link at node {self.a!r}")
+        if self.length_km <= 0:
+            raise TopologyError(
+                f"link {self.a}-{self.b} must have positive length, "
+                f"got {self.length_km}"
+            )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Canonical (sorted) endpoint pair identifying this link."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    def other(self, node: str) -> str:
+        """Return the endpoint opposite ``node``.
+
+        Raises:
+            TopologyError: if ``node`` is not an endpoint of this link.
+        """
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise TopologyError(f"{node!r} is not an endpoint of link {self.key}")
+
+    def __str__(self) -> str:
+        return f"{self.key[0]}={self.key[1]}"
+
+
+class NetworkGraph:
+    """An undirected multigraph of nodes and fiber links.
+
+    Provides Dijkstra shortest paths and Yen's k-shortest simple paths,
+    with pluggable link weights and link/node exclusion — the primitives
+    the GRIPhoN controller's routing engine builds on.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, Set[str]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Add a node; re-adding an identical node is a no-op.
+
+        Raises:
+            TopologyError: if a different node with the same name exists.
+        """
+        existing = self._nodes.get(node.name)
+        if existing is not None:
+            if existing != node:
+                raise TopologyError(
+                    f"node {node.name!r} already exists with different attributes"
+                )
+            return existing
+        self._nodes[node.name] = node
+        self._adjacency[node.name] = set()
+        return node
+
+    def add_link(self, link: Link) -> Link:
+        """Add a link between two existing nodes.
+
+        Raises:
+            TopologyError: if either endpoint is unknown or the node pair
+                is already linked (parallel links are modeled as added
+                capacity on one link, not as multigraph edges).
+        """
+        for endpoint in (link.a, link.b):
+            if endpoint not in self._nodes:
+                raise TopologyError(f"link references unknown node {endpoint!r}")
+        if link.key in self._links:
+            raise TopologyError(f"duplicate link {link.key}")
+        self._links[link.key] = link
+        self._adjacency[link.a].add(link.b)
+        self._adjacency[link.b].add(link.a)
+        return link
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    @property
+    def links(self) -> List[Link]:
+        """All links, in insertion order."""
+        return list(self._links.values())
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name.
+
+        Raises:
+            TopologyError: for an unknown name.
+        """
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        """Whether a node with this name exists."""
+        return name in self._nodes
+
+    def link_between(self, a: str, b: str) -> Link:
+        """Return the link joining ``a`` and ``b``.
+
+        Raises:
+            TopologyError: if the nodes are not adjacent.
+        """
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self._links[key]
+        except KeyError:
+            raise TopologyError(f"no link between {a!r} and {b!r}") from None
+
+    def neighbors(self, name: str) -> List[str]:
+        """Sorted neighbor names of ``name``."""
+        if name not in self._adjacency:
+            raise TopologyError(f"unknown node {name!r}")
+        return sorted(self._adjacency[name])
+
+    def degree(self, name: str) -> int:
+        """Number of distinct inter-node fiber links at ``name``."""
+        if name not in self._adjacency:
+            raise TopologyError(f"unknown node {name!r}")
+        return len(self._adjacency[name])
+
+    def links_on_path(self, path: List[str]) -> List[Link]:
+        """The link objects along a node path.
+
+        Raises:
+            TopologyError: if consecutive nodes are not adjacent.
+        """
+        return [self.link_between(u, v) for u, v in zip(path, path[1:])]
+
+    def path_length_km(self, path: List[str]) -> float:
+        """Total fiber kilometers along a node path."""
+        return sum(link.length_km for link in self.links_on_path(path))
+
+    def path_latency_s(self, path: List[str]) -> float:
+        """One-way propagation delay along a node path.
+
+        Light in fiber travels at about c/1.468 ≈ 204 km/ms, i.e. ~4.9 µs
+        per kilometer — the figure a re-grooming pass actually improves
+        for the customer.
+        """
+        return self.path_length_km(path) * 4.9e-6
+
+    def srlgs_on_path(self, path: List[str]) -> Set[str]:
+        """Union of SRLG identifiers along the path."""
+        groups: Set[str] = set()
+        for link in self.links_on_path(path):
+            groups |= link.srlgs
+        return groups
+
+    def links_in_srlg(self, srlg: str) -> List[Link]:
+        """All links belonging to the given shared-risk group."""
+        return [link for link in self._links.values() if srlg in link.srlgs]
+
+    # -- path search -------------------------------------------------------------
+
+    def shortest_path(
+        self,
+        source: str,
+        target: str,
+        weight: Optional[Callable[[Link], float]] = None,
+        excluded_links: Iterable[Tuple[str, str]] = (),
+        excluded_nodes: Iterable[str] = (),
+    ) -> List[str]:
+        """Dijkstra shortest path from ``source`` to ``target``.
+
+        Args:
+            weight: Link cost function; default is hop count (cost 1/link).
+            excluded_links: Link keys (canonical endpoint pairs) to avoid.
+            excluded_nodes: Intermediate nodes to avoid (endpoints are
+                always allowed).
+
+        Returns:
+            The node path, beginning with ``source`` and ending with
+            ``target``.
+
+        Raises:
+            NoPathError: if no path survives the exclusions.
+            TopologyError: for unknown endpoints.
+        """
+        self.node(source)
+        self.node(target)
+        if weight is None:
+            weight = lambda link: 1.0  # noqa: E731 - hop count default
+        banned_links = {self._canonical(k) for k in excluded_links}
+        banned_nodes = set(excluded_nodes) - {source, target}
+
+        distances: Dict[str, float] = {source: 0.0}
+        previous: Dict[str, str] = {}
+        counter = itertools.count()
+        frontier: List[Tuple[float, int, str]] = [(0.0, next(counter), source)]
+        visited: Set[str] = set()
+        while frontier:
+            dist, _, current = heapq.heappop(frontier)
+            if current in visited:
+                continue
+            visited.add(current)
+            if current == target:
+                return self._reconstruct(previous, source, target)
+            for neighbor in sorted(self._adjacency[current]):
+                if neighbor in banned_nodes or neighbor in visited:
+                    continue
+                link = self.link_between(current, neighbor)
+                if link.key in banned_links:
+                    continue
+                cost = weight(link)
+                if cost < 0:
+                    raise TopologyError(
+                        f"negative link weight {cost} on {link.key}"
+                    )
+                candidate = dist + cost
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    previous[neighbor] = current
+                    heapq.heappush(frontier, (candidate, next(counter), neighbor))
+        raise NoPathError(f"no path from {source!r} to {target!r}")
+
+    def k_shortest_paths(
+        self,
+        source: str,
+        target: str,
+        k: int,
+        weight: Optional[Callable[[Link], float]] = None,
+        excluded_links: Iterable[Tuple[str, str]] = (),
+        excluded_nodes: Iterable[str] = (),
+    ) -> List[List[str]]:
+        """Yen's algorithm: up to ``k`` loop-free shortest paths in cost order.
+
+        Returns fewer than ``k`` paths when the graph does not contain that
+        many simple paths.  Raises :class:`NoPathError` if there is none.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if weight is None:
+            weight = lambda link: 1.0  # noqa: E731 - hop count default
+        base_excluded_links = {self._canonical(key) for key in excluded_links}
+        base_excluded_nodes = set(excluded_nodes)
+
+        first = self.shortest_path(
+            source,
+            target,
+            weight,
+            excluded_links=base_excluded_links,
+            excluded_nodes=base_excluded_nodes,
+        )
+        paths: List[List[str]] = [first]
+        candidates: List[Tuple[float, List[str]]] = []
+        seen_candidates: Set[Tuple[str, ...]] = {tuple(first)}
+
+        while len(paths) < k:
+            prev_path = paths[-1]
+            for i in range(len(prev_path) - 1):
+                spur_node = prev_path[i]
+                root = prev_path[: i + 1]
+                removed_links = set(base_excluded_links)
+                for path in paths:
+                    if path[: i + 1] == root and len(path) > i + 1:
+                        removed_links.add(
+                            self._canonical((path[i], path[i + 1]))
+                        )
+                removed_nodes = set(base_excluded_nodes) | set(root[:-1])
+                try:
+                    spur = self.shortest_path(
+                        spur_node,
+                        target,
+                        weight,
+                        excluded_links=removed_links,
+                        excluded_nodes=removed_nodes,
+                    )
+                except NoPathError:
+                    continue
+                total = root[:-1] + spur
+                key = tuple(total)
+                if key in seen_candidates:
+                    continue
+                seen_candidates.add(key)
+                cost = sum(weight(link) for link in self.links_on_path(total))
+                heapq.heappush(candidates, (cost, total))
+            if not candidates:
+                break
+            _, best = heapq.heappop(candidates)
+            paths.append(best)
+        return paths
+
+    def disjoint_path(
+        self,
+        path: List[str],
+        weight: Optional[Callable[[Link], float]] = None,
+        srlg_disjoint: bool = True,
+    ) -> List[str]:
+        """Find a path between the endpoints of ``path`` disjoint from it.
+
+        Disjointness means: no shared links, no shared intermediate nodes,
+        and (when ``srlg_disjoint``) no shared SRLGs — the constraint the
+        bridge-and-roll operation requires of the new wavelength path.
+
+        Raises:
+            NoPathError: if no disjoint path exists.
+        """
+        if len(path) < 2:
+            raise TopologyError("path must contain at least two nodes")
+        source, target = path[0], path[-1]
+        excluded_links = {link.key for link in self.links_on_path(path)}
+        if srlg_disjoint:
+            for srlg in self.srlgs_on_path(path):
+                excluded_links |= {link.key for link in self.links_in_srlg(srlg)}
+        excluded_nodes = set(path[1:-1])
+        return self.shortest_path(
+            source,
+            target,
+            weight,
+            excluded_links=excluded_links,
+            excluded_nodes=excluded_nodes,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _canonical(key: Tuple[str, str]) -> Tuple[str, str]:
+        a, b = key
+        return (a, b) if a <= b else (b, a)
+
+    @staticmethod
+    def _reconstruct(
+        previous: Dict[str, str], source: str, target: str
+    ) -> List[str]:
+        path = [target]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path

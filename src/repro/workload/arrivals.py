@@ -1,0 +1,109 @@
+"""Arrival processes: Poisson streams and diurnal rate profiles."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.units import DAY, HOUR
+
+
+class DiurnalProfile:
+    """A 24-hour sinusoidal rate profile.
+
+    ``rate(t)`` peaks at ``peak_hour`` and bottoms out half a day away.
+    Used both for interactive-traffic demand and to modulate bulk-job
+    arrival rates (operators schedule backups off-peak).
+
+    Args:
+        base: Mean level of the profile.
+        amplitude: Fractional swing, in [0, 1]; 0.5 means the peak is
+            1.5x the base and the trough 0.5x.
+        peak_hour: Local hour (0-24) of the maximum.
+    """
+
+    def __init__(self, base: float, amplitude: float = 0.5, peak_hour: float = 14.0):
+        if base <= 0:
+            raise ConfigurationError(f"base must be positive, got {base}")
+        if not 0 <= amplitude <= 1:
+            raise ConfigurationError(
+                f"amplitude must be within [0, 1], got {amplitude}"
+            )
+        self.base = base
+        self.amplitude = amplitude
+        self.peak_hour = peak_hour % 24.0
+
+    def rate(self, t: float) -> float:
+        """The profile value at simulation time ``t`` (seconds)."""
+        hour = (t % DAY) / HOUR
+        phase = 2 * math.pi * (hour - self.peak_hour) / 24.0
+        return self.base * (1.0 + self.amplitude * math.cos(phase))
+
+    def peak(self) -> float:
+        """The maximum of the profile."""
+        return self.base * (1.0 + self.amplitude)
+
+    def trough(self) -> float:
+        """The minimum of the profile."""
+        return self.base * (1.0 - self.amplitude)
+
+
+class PoissonArrivals:
+    """A (possibly time-varying) Poisson arrival process on a simulator.
+
+    Each arrival invokes ``on_arrival(sim.now)``.  A time-varying rate is
+    supported by thinning against ``max_rate``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        on_arrival: Callable[[float], None],
+        rate_per_s: Optional[float] = None,
+        rate_fn: Optional[Callable[[float], float]] = None,
+        max_rate: Optional[float] = None,
+        stream_name: str = "arrivals",
+        stop_at: Optional[float] = None,
+    ) -> None:
+        if (rate_per_s is None) == (rate_fn is None):
+            raise ConfigurationError(
+                "exactly one of rate_per_s or rate_fn must be given"
+            )
+        if rate_fn is not None and max_rate is None:
+            raise ConfigurationError("rate_fn requires max_rate for thinning")
+        if rate_per_s is not None and rate_per_s <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate_per_s}")
+        self._sim = sim
+        self._streams = streams
+        self._on_arrival = on_arrival
+        self._rate = rate_per_s
+        self._rate_fn = rate_fn
+        self._max_rate = max_rate if max_rate is not None else rate_per_s
+        self._stream_name = stream_name
+        self._stop_at = stop_at
+        self.arrival_count = 0
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self._streams.exponential(self._stream_name, 1.0 / self._max_rate)
+        when = self._sim.now + gap
+        if self._stop_at is not None and when > self._stop_at:
+            return
+        self._sim.schedule(gap, self._fire, label=f"arrival:{self._stream_name}")
+
+    def _fire(self) -> None:
+        accept = True
+        if self._rate_fn is not None:
+            current = self._rate_fn(self._sim.now)
+            accept = (
+                self._streams.uniform(f"{self._stream_name}:thin", 0.0, 1.0)
+                < current / self._max_rate
+            )
+        if accept:
+            self.arrival_count += 1
+            self._on_arrival(self._sim.now)
+        self._schedule_next()

@@ -1,0 +1,182 @@
+"""Bulk replication jobs driven through a BoD service.
+
+Each job replicates a heavy-tailed volume of data between two premises:
+it requests a connection at a job-appropriate rate, waits for the setup
+to complete, transfers, and tears the connection down — the paper's
+intended usage pattern for the BoD service.  Completion records feed the
+BoD-versus-static economics experiment (X4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.connection import Connection, ConnectionState
+from repro.core.service import BodService
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.units import GBPS, TERABYTE, transfer_time
+
+
+@dataclass
+class TransferRecord:
+    """Outcome of one bulk replication job.
+
+    Attributes:
+        job_id: Sequential job number.
+        src / dst: Premises pair.
+        volume_bits: Data volume replicated.
+        rate_bps: The connection rate used.
+        requested_at: When the job arrived.
+        started_at: When the connection came up (None if blocked).
+        completed_at: When the transfer finished (None if blocked).
+        blocked: True if the BoD request was rejected.
+    """
+
+    job_id: int
+    src: str
+    dst: str
+    volume_bits: float
+    rate_bps: float
+    requested_at: float
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    blocked: bool = False
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Request-to-finish latency, or None while running/blocked."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.requested_at
+
+
+class BulkTransferWorkload:
+    """Generates and runs bulk replication jobs on a BoD service.
+
+    Args:
+        sim: The shared simulator.
+        streams: Random substreams (sizes, pair choice).
+        service: The customer's BoD service handle.
+        premises: Premises to replicate among (pairs chosen uniformly).
+        mean_volume_bits: Mean transfer size; sizes are Pareto-distributed
+            (shape 1.5) so most jobs are small and a few are huge.
+        rate_policy: ``'wavelength'`` always asks for 10G; ``'adaptive'``
+            asks 40G for jobs over 10 TB, 10G for over 1 TB, 1G below.
+    """
+
+    PARETO_SHAPE = 1.5
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        service: BodService,
+        premises: List[str],
+        mean_volume_bits: float = 5 * TERABYTE,
+        rate_policy: str = "adaptive",
+    ) -> None:
+        if len(premises) < 2:
+            raise ConfigurationError("need at least two premises")
+        if rate_policy not in ("adaptive", "wavelength"):
+            raise ConfigurationError(f"unknown rate policy {rate_policy!r}")
+        if mean_volume_bits <= 0:
+            raise ConfigurationError("mean volume must be positive")
+        self._sim = sim
+        self._streams = streams
+        self._service = service
+        self._premises = list(premises)
+        self._mean_volume = mean_volume_bits
+        self._rate_policy = rate_policy
+        self.records: List[TransferRecord] = []
+        self._job_seq = 0
+
+    # -- job generation -------------------------------------------------------
+
+    def submit_job(self, _now: Optional[float] = None) -> TransferRecord:
+        """Create and start one replication job (arrival-process callback)."""
+        src, dst = self._pick_pair()
+        volume = self._pick_volume()
+        rate = self._pick_rate(volume)
+        record = TransferRecord(
+            self._job_seq,
+            src,
+            dst,
+            volume,
+            rate,
+            requested_at=self._sim.now,
+        )
+        self._job_seq += 1
+        self.records.append(record)
+        connection = self._service.request_connection(
+            src, dst, rate_gbps=rate / GBPS
+        )
+        if connection.state is ConnectionState.BLOCKED:
+            record.blocked = True
+            return record
+        self._watch(connection, record)
+        return record
+
+    # -- reporting --------------------------------------------------------------
+
+    def completed(self) -> List[TransferRecord]:
+        """Records of finished transfers."""
+        return [r for r in self.records if r.completed_at is not None]
+
+    def blocked(self) -> List[TransferRecord]:
+        """Records of rejected transfers."""
+        return [r for r in self.records if r.blocked]
+
+    def blocking_ratio(self) -> float:
+        """Fraction of jobs rejected (0 if none submitted)."""
+        if not self.records:
+            return 0.0
+        return len(self.blocked()) / len(self.records)
+
+    # -- internals ------------------------------------------------------------
+
+    def _pick_pair(self) -> Tuple[str, str]:
+        src = self._streams.choice("bulk:src", self._premises)
+        others = [p for p in self._premises if p != src]
+        return src, self._streams.choice("bulk:dst", others)
+
+    def _pick_volume(self) -> float:
+        # Pareto with mean = scale * shape / (shape - 1).
+        scale = self._mean_volume * (self.PARETO_SHAPE - 1) / self.PARETO_SHAPE
+        return self._streams.pareto("bulk:volume", self.PARETO_SHAPE, scale)
+
+    def _pick_rate(self, volume_bits: float) -> float:
+        if self._rate_policy == "wavelength":
+            return 10 * GBPS
+        if volume_bits >= 10 * TERABYTE:
+            return 40 * GBPS
+        if volume_bits >= 1 * TERABYTE:
+            return 10 * GBPS
+        return 1 * GBPS
+
+    def _watch(self, connection: Connection, record: TransferRecord) -> None:
+        """Poll for the connection to come up, then run the transfer."""
+        if connection.state is ConnectionState.UP:
+            record.started_at = self._sim.now
+            duration = transfer_time(record.volume_bits, record.rate_bps)
+            self._sim.schedule(
+                duration,
+                self._finish,
+                connection,
+                record,
+                label=f"transfer-done:{record.job_id}",
+            )
+            return
+        if connection.state is ConnectionState.BLOCKED:
+            record.blocked = True
+            return
+        self._sim.schedule(
+            1.0, self._watch, connection, record, label="transfer-wait"
+        )
+
+    def _finish(self, connection: Connection, record: TransferRecord) -> None:
+        record.completed_at = self._sim.now
+        if connection.state is ConnectionState.UP:
+            self._service.teardown_connection(connection.connection_id)

@@ -1,0 +1,89 @@
+"""Synthetic inter-data-center traffic matrices.
+
+Chen et al. (IEEE INFOCOM 2011) characterized Yahoo!'s inter-DC traffic
+as dominated by background, non-interactive bulk transfers, with volumes
+strongly skewed toward a few heavy site pairs.  We synthesize matrices
+with the same flavor: a gravity model over per-site weights plus an
+80/20-style bulk/interactive split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.randomness import RandomStreams
+from repro.units import GBPS
+
+
+@dataclass
+class TrafficMatrix:
+    """Per-pair mean demands in bps, split by traffic class.
+
+    Attributes:
+        bulk: (src, dst) -> mean bulk-transfer demand.
+        interactive: (src, dst) -> mean interactive demand.
+    """
+
+    bulk: Dict[Tuple[str, str], float]
+    interactive: Dict[Tuple[str, str], float]
+
+    @property
+    def pairs(self) -> List[Tuple[str, str]]:
+        """All ordered site pairs in the matrix."""
+        return sorted(self.bulk)
+
+    def total_bulk_bps(self) -> float:
+        """Aggregate mean bulk demand."""
+        return sum(self.bulk.values())
+
+    def total_interactive_bps(self) -> float:
+        """Aggregate mean interactive demand."""
+        return sum(self.interactive.values())
+
+    def bulk_fraction(self) -> float:
+        """Share of total demand that is bulk (the dominant class)."""
+        total = self.total_bulk_bps() + self.total_interactive_bps()
+        if total == 0:
+            return 0.0
+        return self.total_bulk_bps() / total
+
+
+def synthesize_traffic_matrix(
+    sites: List[str],
+    streams: RandomStreams,
+    total_gbps: float = 100.0,
+    bulk_share: float = 0.8,
+) -> TrafficMatrix:
+    """Build a gravity-model traffic matrix over ``sites``.
+
+    Each site gets a random weight (lognormal, so a few sites dominate);
+    pair demand is proportional to the weight product.  ``bulk_share``
+    of each pair's demand is bulk, the rest interactive.
+
+    Raises:
+        ConfigurationError: for fewer than two sites or bad shares.
+    """
+    if len(sites) < 2:
+        raise ConfigurationError("need at least two sites")
+    if not 0 <= bulk_share <= 1:
+        raise ConfigurationError(f"bulk_share must be in [0, 1], got {bulk_share}")
+    if total_gbps <= 0:
+        raise ConfigurationError(f"total_gbps must be positive, got {total_gbps}")
+    weights = {
+        site: streams.lognormal("traffic:weight", mean=1.0, cv=1.0)
+        for site in sites
+    }
+    gravity: Dict[Tuple[str, str], float] = {}
+    for src in sites:
+        for dst in sites:
+            if src == dst:
+                continue
+            gravity[(src, dst)] = weights[src] * weights[dst]
+    scale = total_gbps * GBPS / sum(gravity.values())
+    bulk = {pair: value * scale * bulk_share for pair, value in gravity.items()}
+    interactive = {
+        pair: value * scale * (1 - bulk_share) for pair, value in gravity.items()
+    }
+    return TrafficMatrix(bulk, interactive)

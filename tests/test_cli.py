@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "quickstart"])
+        assert args.seed == 7
+
+    def test_table2_iterations(self):
+        args = build_parser().parse_args(["table2", "--iterations", "3"])
+        assert args.iterations == 3
+
+
+class TestCommands:
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "setup took" in out
+        assert "teardown took" in out
+        assert "10 Gbps" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "paper mean" in out
+        lines = [l for l in out.splitlines() if l.strip() and l[0].isdigit() is False]
+        # Three data rows, one per hop count.
+        data = [l for l in out.splitlines() if l.strip().startswith(("1 ", "2 ", "3 "))]
+        assert len(data) == 3
+
+    def test_restore(self, capsys):
+        assert main(["restore"]) == 0
+        out = capsys.readouterr().out
+        assert "restored on" in out
+        assert "outage" in out
+
+    def test_operator(self, capsys):
+        assert main(["operator"]) == 0
+        out = capsys.readouterr().out
+        assert "Fiber plant" in out
+        assert "Resource pools" in out
+
+    def test_seed_changes_results(self, capsys):
+        main(["--seed", "1", "quickstart"])
+        first = capsys.readouterr().out
+        main(["--seed", "2", "quickstart"])
+        second = capsys.readouterr().out
+        assert first != second

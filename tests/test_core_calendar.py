@@ -1,0 +1,166 @@
+"""Tests for advance reservations (calendar BoD)."""
+
+import pytest
+
+from repro.core.calendar import Reservation, ReservationBook, ReservationState
+from repro.core.connection import ConnectionState
+from repro.errors import AdmissionError, ConfigurationError
+from repro.facade import build_griphon_testbed
+from repro.units import HOUR
+
+
+@pytest.fixture
+def net():
+    return build_griphon_testbed(seed=31, latency_cv=0.0, nte_interfaces=12)
+
+
+@pytest.fixture
+def book(net):
+    net.service_for("csp", max_connections=64, max_total_rate_gbps=10000)
+    return ReservationBook(net.controller)
+
+
+class TestBooking:
+    def test_booked_then_active_then_completed(self, net, book):
+        resv = book.book(
+            "csp", "PREMISES-A", "PREMISES-C", 10,
+            start=1 * HOUR, end=3 * HOUR,
+        )
+        assert resv.state is ReservationState.BOOKED
+        net.run(until=1.5 * HOUR)
+        assert resv.state is ReservationState.ACTIVE
+        assert resv.connection.state is ConnectionState.UP
+        net.run()
+        assert resv.state is ReservationState.COMPLETED
+        assert resv.connection.state is ConnectionState.RELEASED
+
+    def test_connection_is_up_by_window_start(self, net, book):
+        """Activation leads the window so setup completes in time."""
+        resv = book.book(
+            "csp", "PREMISES-A", "PREMISES-C", 10,
+            start=1 * HOUR, end=2 * HOUR,
+        )
+        net.run(until=1 * HOUR)
+        assert resv.connection is not None
+        assert resv.connection.state is ConnectionState.UP
+
+    def test_empty_window_rejected(self, book):
+        with pytest.raises(ConfigurationError):
+            book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                      start=2 * HOUR, end=2 * HOUR)
+
+    def test_past_window_rejected(self, net, book):
+        net.run(until=5 * HOUR)
+        with pytest.raises(ConfigurationError):
+            book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                      start=1 * HOUR, end=2 * HOUR)
+
+    def test_unknown_customer_rejected(self, book):
+        with pytest.raises(AdmissionError):
+            book.book("nobody", "PREMISES-A", "PREMISES-C", 10,
+                      start=1 * HOUR, end=2 * HOUR)
+
+    def test_negative_lead_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            ReservationBook(net.controller, setup_lead_s=-1)
+
+    def test_reservations_listing(self, net, book):
+        book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                  start=1 * HOUR, end=2 * HOUR)
+        assert len(book.reservations()) == 1
+        assert len(book.reservations("csp")) == 1
+        assert book.reservations("other") == []
+
+
+class TestCalendarAdmission:
+    def test_overlapping_bookings_capped_by_pool(self, net, book):
+        # 8 x 10G OTs per node: the ninth overlapping 10G booking at the
+        # same PoP must be refused.
+        for i in range(8):
+            book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                      start=1 * HOUR, end=3 * HOUR)
+        with pytest.raises(AdmissionError):
+            book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                      start=2 * HOUR, end=4 * HOUR)
+
+    def test_disjoint_windows_reuse_capacity(self, net, book):
+        for i in range(8):
+            book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                      start=1 * HOUR, end=3 * HOUR)
+        # Same capacity, later window: fine.
+        resv = book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                         start=3 * HOUR, end=5 * HOUR)
+        assert resv.state is ReservationState.BOOKED
+
+    def test_canceled_bookings_free_calendar(self, net, book):
+        held = [
+            book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                      start=1 * HOUR, end=3 * HOUR)
+            for _ in range(8)
+        ]
+        book.cancel(held[0].reservation_id)
+        resv = book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                         start=1 * HOUR, end=3 * HOUR)
+        assert resv.state is ReservationState.BOOKED
+
+    def test_subwavelength_bookings_cheap(self, net, book):
+        # 1G bookings cost 1/8 OT in the calendar: many fit.
+        for _ in range(16):
+            book.book("csp", "PREMISES-A", "PREMISES-C", 1,
+                      start=1 * HOUR, end=3 * HOUR)
+        assert len(book.reservations()) == 16
+
+
+class TestCancelAndFailure:
+    def test_cancel_booked(self, net, book):
+        resv = book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                         start=1 * HOUR, end=2 * HOUR)
+        book.cancel(resv.reservation_id)
+        assert resv.state is ReservationState.CANCELED
+        net.run()
+        # Never activated.
+        assert resv.connection is None
+
+    def test_cancel_unknown(self, book):
+        with pytest.raises(ConfigurationError):
+            book.cancel("resv-ghost")
+
+    def test_cancel_active_rejected(self, net, book):
+        resv = book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                         start=1 * HOUR, end=3 * HOUR)
+        net.run(until=1.5 * HOUR)
+        with pytest.raises(ConfigurationError):
+            book.cancel(resv.reservation_id)
+
+    def test_activation_failure_recorded(self, net, book):
+        """If the network is broken at activation time, the reservation
+        records the failure instead of raising."""
+        resv = book.book("csp", "PREMISES-A", "PREMISES-C", 10,
+                         start=1 * HOUR, end=2 * HOUR)
+        # Sever PREMISES-A's access pipe before activation.
+        net.controller.auto_restore = False
+        net.inventory.plant.cut_link("PREMISES-A", "ROADM-I")
+        # Also exhaust the quota path by cutting all core links from I.
+        net.inventory.plant.cut_link("ROADM-I", "ROADM-II")
+        net.inventory.plant.cut_link("ROADM-I", "ROADM-III")
+        net.inventory.plant.cut_link("ROADM-I", "ROADM-IV")
+        net.run()
+        assert resv.state is ReservationState.ACTIVATION_FAILED
+        assert resv.failure_reason
+
+
+class TestOverlapPredicate:
+    def make(self, start, end):
+        return Reservation("r", "c", "A", "B", 1.0, start, end)
+
+    def test_overlap_cases(self):
+        resv = self.make(10.0, 20.0)
+        assert resv.overlaps(15.0, 25.0)
+        assert resv.overlaps(5.0, 15.0)
+        assert resv.overlaps(12.0, 13.0)
+        assert resv.overlaps(0.0, 100.0)
+
+    def test_adjacent_windows_do_not_overlap(self):
+        resv = self.make(10.0, 20.0)
+        assert not resv.overlaps(20.0, 30.0)
+        assert not resv.overlaps(0.0, 10.0)

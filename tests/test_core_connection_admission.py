@@ -1,0 +1,189 @@
+"""Tests for connection records, rate decomposition, and admission control."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionControl, CustomerProfile
+from repro.core.connection import Connection, ConnectionKind, ConnectionState
+from repro.core.controller import decompose_rate
+from repro.errors import AdmissionError, ConfigurationError, ConnectionStateError
+from repro.units import gbps
+
+
+def make_connection(**kwargs):
+    defaults = dict(
+        connection_id="conn-0",
+        customer="csp",
+        premises_a="A",
+        premises_b="B",
+        rate_bps=gbps(10),
+        kind=ConnectionKind.WAVELENGTH,
+    )
+    defaults.update(kwargs)
+    return Connection(**defaults)
+
+
+class TestConnectionStateMachine:
+    def test_happy_path(self):
+        conn = make_connection()
+        conn.transition(ConnectionState.SETTING_UP)
+        conn.transition(ConnectionState.UP)
+        conn.transition(ConnectionState.TEARING_DOWN)
+        conn.transition(ConnectionState.RELEASED)
+
+    def test_failure_restore_cycle(self):
+        conn = make_connection()
+        conn.transition(ConnectionState.SETTING_UP)
+        conn.transition(ConnectionState.UP)
+        conn.transition(ConnectionState.FAILED)
+        conn.transition(ConnectionState.RESTORING)
+        conn.transition(ConnectionState.UP)
+
+    def test_illegal_transition(self):
+        conn = make_connection()
+        with pytest.raises(ConnectionStateError):
+            conn.transition(ConnectionState.UP)
+
+    def test_blocked_is_terminal(self):
+        conn = make_connection()
+        conn.transition(ConnectionState.BLOCKED)
+        with pytest.raises(ConnectionStateError):
+            conn.transition(ConnectionState.SETTING_UP)
+
+    def test_setup_duration(self):
+        conn = make_connection(requested_at=10.0)
+        assert conn.setup_duration is None
+        conn.up_at = 72.0
+        assert conn.setup_duration == pytest.approx(62.0)
+
+    def test_outage_accounting(self):
+        conn = make_connection()
+        conn.begin_outage(100.0)
+        conn.begin_outage(105.0)  # idempotent while open
+        conn.end_outage(160.0)
+        assert conn.total_outage_s == pytest.approx(60.0)
+        conn.end_outage(170.0)  # no open outage: no-op
+        assert conn.total_outage_s == pytest.approx(60.0)
+
+    def test_str_mentions_rate(self):
+        assert "10 Gbps" in str(make_connection())
+
+
+class TestDecomposeRate:
+    def test_paper_example_12g(self):
+        """The paper's example: 12G = one 10G wavelength + 2 x 1G OTN."""
+        waves, circuits = decompose_rate(gbps(12), [gbps(10), gbps(40)])
+        assert waves == [gbps(10)]
+        assert circuits == 2
+
+    def test_exact_wavelength(self):
+        waves, circuits = decompose_rate(gbps(10), [gbps(10), gbps(40)])
+        assert waves == [gbps(10)]
+        assert circuits == 0
+
+    def test_forty_gig(self):
+        waves, circuits = decompose_rate(gbps(40), [gbps(10), gbps(40)])
+        assert waves == [gbps(40)]
+        assert circuits == 0
+
+    def test_sub_wavelength_only(self):
+        waves, circuits = decompose_rate(gbps(3), [gbps(10), gbps(40)])
+        assert waves == []
+        assert circuits == 3
+
+    def test_fractional_rate_rounds_up(self):
+        waves, circuits = decompose_rate(gbps(0.4), [gbps(10)])
+        assert waves == []
+        assert circuits == 1
+
+    def test_fifty_gig_mixes(self):
+        waves, circuits = decompose_rate(gbps(52), [gbps(10), gbps(40)])
+        assert waves == [gbps(40), gbps(10)]
+        assert circuits == 2
+
+    def test_no_wavelength_rates(self):
+        waves, circuits = decompose_rate(gbps(5), [])
+        assert waves == []
+        assert circuits == 5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            decompose_rate(0, [gbps(10)])
+
+    @given(rate=st.floats(min_value=0.1, max_value=200.0))
+    def test_decomposition_covers_rate(self, rate):
+        waves, circuits = decompose_rate(gbps(rate), [gbps(10), gbps(40)])
+        total = sum(waves) + circuits * gbps(1)
+        assert total >= gbps(rate) - 1e-3
+
+
+class TestAdmissionControl:
+    @pytest.fixture
+    def admission(self):
+        control = AdmissionControl()
+        control.register_customer(
+            CustomerProfile(
+                "csp-a",
+                max_connections=2,
+                max_total_rate_bps=gbps(25),
+                premises=["DC-1", "DC-2"],
+            )
+        )
+        return control
+
+    def test_admit_and_usage(self, admission):
+        admission.admit("csp-a", "DC-1", "DC-2", gbps(10))
+        usage = admission.usage("csp-a")
+        assert usage["connections"] == 1
+        assert usage["rate_bps"] == gbps(10)
+
+    def test_duplicate_customer(self, admission):
+        with pytest.raises(AdmissionError):
+            admission.register_customer(CustomerProfile("csp-a"))
+
+    def test_unknown_customer(self, admission):
+        with pytest.raises(AdmissionError):
+            admission.admit("ghost", "DC-1", "DC-2", gbps(1))
+
+    def test_premises_restriction(self, admission):
+        with pytest.raises(AdmissionError):
+            admission.admit("csp-a", "DC-1", "DC-3", gbps(1))
+
+    def test_unrestricted_premises(self):
+        control = AdmissionControl()
+        control.register_customer(CustomerProfile("csp-b"))
+        control.admit("csp-b", "ANY-1", "ANY-2", gbps(1))
+
+    def test_connection_quota(self, admission):
+        admission.admit("csp-a", "DC-1", "DC-2", gbps(1))
+        admission.admit("csp-a", "DC-1", "DC-2", gbps(1))
+        with pytest.raises(AdmissionError):
+            admission.admit("csp-a", "DC-1", "DC-2", gbps(1))
+
+    def test_rate_quota(self, admission):
+        admission.admit("csp-a", "DC-1", "DC-2", gbps(20))
+        with pytest.raises(AdmissionError):
+            admission.admit("csp-a", "DC-1", "DC-2", gbps(10))
+
+    def test_release_returns_quota(self, admission):
+        admission.admit("csp-a", "DC-1", "DC-2", gbps(20))
+        admission.release("csp-a", gbps(20))
+        admission.admit("csp-a", "DC-1", "DC-2", gbps(20))
+
+    def test_release_without_admit(self, admission):
+        with pytest.raises(AdmissionError):
+            admission.release("csp-a", gbps(1))
+
+    def test_isolation_between_customers(self, admission):
+        """One customer's usage never counts against another's quota."""
+        admission.register_customer(
+            CustomerProfile("csp-b", max_connections=2,
+                            max_total_rate_bps=gbps(25))
+        )
+        admission.admit("csp-a", "DC-1", "DC-2", gbps(20))
+        admission.admit("csp-b", "X", "Y", gbps(20))  # unaffected by csp-a
+        assert admission.usage("csp-b")["rate_bps"] == gbps(20)
+
+    def test_customers_listing(self, admission):
+        assert admission.customers() == ["csp-a"]

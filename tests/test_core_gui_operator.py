@@ -1,0 +1,47 @@
+"""Tests for the operator network view."""
+
+import pytest
+
+from repro.core.gui import render_network_view
+from repro.facade import build_griphon_testbed
+
+
+@pytest.fixture
+def net():
+    return build_griphon_testbed(seed=2, latency_cv=0.0)
+
+
+class TestOperatorView:
+    def test_idle_network(self, net):
+        view = render_network_view(net.controller)
+        assert "Fiber plant" in view
+        assert "Resource pools" in view
+        assert "ROADM-I=ROADM-IV" in view
+        assert "0/80" in view
+        assert "FAILED" not in view
+
+    def test_lit_channels_visible(self, net):
+        svc = net.service_for("csp")
+        svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        view = render_network_view(net.controller)
+        assert "1/80" in view
+
+    def test_ot_usage_visible(self, net):
+        svc = net.service_for("csp")
+        svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        view = render_network_view(net.controller)
+        # 8x10G + 2x40G OTs per node; one 10G in use at each end.
+        assert "1/10" in view
+
+    def test_failed_link_flagged(self, net):
+        net.controller.auto_restore = False
+        net.controller.cut_link("ROADM-I", "ROADM-IV")
+        view = render_network_view(net.controller)
+        assert "FAILED" in view
+
+    def test_regen_column_present(self, net):
+        view = render_network_view(net.controller)
+        assert "REGENS IN USE" in view
+        assert "0/2" in view

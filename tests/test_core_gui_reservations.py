@@ -1,0 +1,51 @@
+"""Tests for the reservation calendar pane."""
+
+import pytest
+
+from repro.core.calendar import ReservationBook
+from repro.core.gui import render_reservations
+from repro.facade import build_griphon_testbed
+from repro.units import HOUR
+
+
+@pytest.fixture
+def net():
+    return build_griphon_testbed(seed=51, latency_cv=0.0)
+
+
+@pytest.fixture
+def book(net):
+    net.service_for("csp-a")
+    net.service_for("csp-b")
+    return ReservationBook(net.controller)
+
+
+class TestReservationPane:
+    def test_empty_book(self, book):
+        assert render_reservations(book) == "No reservations."
+
+    def test_booked_rows(self, net, book):
+        book.book("csp-a", "PREMISES-A", "PREMISES-C", 10,
+                  start=1 * HOUR, end=2 * HOUR)
+        pane = render_reservations(book)
+        assert "resv-0" in pane
+        assert "booked" in pane
+        assert "10 Gbps" in pane
+        assert "1 h - 2 h" in pane
+
+    def test_customer_filter(self, net, book):
+        book.book("csp-a", "PREMISES-A", "PREMISES-C", 10,
+                  start=1 * HOUR, end=2 * HOUR)
+        book.book("csp-b", "PREMISES-A", "PREMISES-B", 10,
+                  start=1 * HOUR, end=2 * HOUR)
+        pane = render_reservations(book, "csp-a")
+        assert "csp-a" in pane
+        assert "csp-b" not in pane
+
+    def test_state_progression_visible(self, net, book):
+        book.book("csp-a", "PREMISES-A", "PREMISES-C", 10,
+                  start=1 * HOUR, end=2 * HOUR)
+        net.run(until=1.5 * HOUR)
+        assert "active" in render_reservations(book)
+        net.run()
+        assert "completed" in render_reservations(book)

@@ -1,0 +1,116 @@
+"""Tests for the network re-grooming engine (paper §4)."""
+
+import pytest
+
+from repro.core.connection import ConnectionState
+from repro.core.regrooming import RegroomCandidate, RegroomingEngine
+from repro.errors import ConfigurationError
+from repro.facade import build_griphon_testbed
+
+
+@pytest.fixture
+def net():
+    return build_griphon_testbed(seed=9, latency_cv=0.0)
+
+
+def detoured_connection(net, svc):
+    """Bring up a connection forced onto the long way (direct link cut),
+    then repair the direct link so a better route exists."""
+    net.controller.cut_link("ROADM-I", "ROADM-IV")
+    conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+    net.run()
+    assert conn.state is ConnectionState.UP
+    lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
+    assert lightpath.hop_count >= 2  # took the detour
+    net.controller.repair_link("ROADM-I", "ROADM-IV")
+    return conn
+
+
+class TestCandidate:
+    def test_improvement_fraction(self):
+        candidate = RegroomCandidate("conn-0", current_km=120.0, best_km=80.0)
+        assert candidate.improvement == pytest.approx(1 / 3)
+
+    def test_no_negative_improvement(self):
+        candidate = RegroomCandidate("conn-0", current_km=80.0, best_km=120.0)
+        assert candidate.improvement == 0.0
+
+    def test_zero_current(self):
+        assert RegroomCandidate("c", 0.0, 0.0).improvement == 0.0
+
+
+class TestScan:
+    def test_detour_is_found(self, net):
+        svc = net.service_for("csp")
+        conn = detoured_connection(net, svc)
+        engine = RegroomingEngine(net.controller)
+        candidates = engine.scan()
+        assert [c.connection_id for c in candidates] == [conn.connection_id]
+        assert candidates[0].best_km < candidates[0].current_km
+
+    def test_well_placed_connection_not_flagged(self, net):
+        svc = net.service_for("csp")
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        # Direct 80 km path: the only disjoint alternative is 120 km.
+        engine = RegroomingEngine(net.controller)
+        assert engine.scan() == []
+
+    def test_threshold_filters_small_wins(self, net):
+        svc = net.service_for("csp")
+        detoured_connection(net, svc)
+        # Detour saves (120-80)/120 = 33%; a 50% threshold hides it.
+        engine = RegroomingEngine(net.controller, improvement_threshold=0.5)
+        assert engine.scan() == []
+
+    def test_subwavelength_connections_skipped(self, net):
+        svc = net.service_for("csp")
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 1)
+        net.run()
+        assert conn.state is ConnectionState.UP
+        engine = RegroomingEngine(net.controller)
+        assert engine.scan() == []
+
+    def test_bad_threshold(self, net):
+        with pytest.raises(ConfigurationError):
+            RegroomingEngine(net.controller, improvement_threshold=1.5)
+
+
+class TestRunPass:
+    def test_migrates_via_bridge_and_roll(self, net):
+        svc = net.service_for("csp")
+        conn = detoured_connection(net, svc)
+        engine = RegroomingEngine(net.controller)
+        reports = []
+        report = engine.run_pass(on_done=reports.append)
+        net.run()
+        assert report.migrated == [conn.connection_id]
+        assert reports == [report]
+        # Migration landed on the short path with only the roll hit.
+        lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
+        assert lightpath.path == ["ROADM-I", "ROADM-IV"]
+        assert conn.total_outage_s == pytest.approx(0.050)
+
+    def test_max_migrations_cap(self, net):
+        svc = net.service_for("csp")
+        detoured_connection(net, svc)
+        engine = RegroomingEngine(net.controller)
+        report = engine.run_pass(max_migrations=0)
+        net.run()
+        assert report.migrated == []
+        assert len(report.candidates) == 1
+
+    def test_empty_network_report(self, net):
+        engine = RegroomingEngine(net.controller)
+        reports = []
+        report = engine.run_pass(on_done=reports.append)
+        assert report.scanned == 0
+        assert report.candidates == []
+        assert reports == [report]
+
+    def test_scan_counts_up_connections(self, net):
+        svc = net.service_for("csp")
+        detoured_connection(net, svc)
+        engine = RegroomingEngine(net.controller)
+        report = engine.run_pass(max_migrations=0)
+        assert report.scanned == 1

@@ -1,0 +1,121 @@
+"""Tests for the customer service API and GUI text views."""
+
+import pytest
+
+from repro.core.connection import ConnectionState
+from repro.core.gui import render_connections, render_fault_panel, render_interfaces
+from repro.errors import AdmissionError, ResourceError
+from repro.facade import build_griphon_testbed
+
+
+@pytest.fixture
+def net():
+    return build_griphon_testbed(seed=1, latency_cv=0.0)
+
+
+@pytest.fixture
+def svc(net):
+    return net.service_for("csp-alpha")
+
+
+class TestServiceApi:
+    def test_unknown_customer_rejected(self, net):
+        from repro.core.service import BodService
+
+        with pytest.raises(AdmissionError):
+            BodService(net.controller, "nobody")
+
+    def test_request_and_list(self, net, svc):
+        conn = svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        assert svc.connections() == [conn]
+        assert svc.connection(conn.connection_id) is conn
+
+    def test_isolation_other_customers_invisible(self, net, svc):
+        other = net.service_for("csp-beta")
+        conn = other.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        assert svc.connections() == []
+        with pytest.raises(ResourceError):
+            svc.connection(conn.connection_id)
+        with pytest.raises(ResourceError):
+            svc.teardown_connection(conn.connection_id)
+
+    def test_teardown_via_service(self, net, svc):
+        conn = svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        svc.teardown_connection(conn.connection_id)
+        net.run()
+        assert conn.state is ConnectionState.RELEASED
+
+    def test_usage(self, net, svc):
+        svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        usage = svc.usage()
+        assert usage["connections"] == 1
+
+    def test_impacted_connections(self, net, svc):
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        assert svc.impacted_connections() == []
+        lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
+        net.controller.auto_restore = False
+        net.controller.cut_link(lightpath.path[0], lightpath.path[1])
+        assert svc.impacted_connections() == [conn]
+
+    def test_fault_report_localizes(self, net, svc):
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        assert "in service" in svc.fault_report(conn.connection_id)
+        lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
+        net.controller.auto_restore = False
+        net.controller.cut_link(lightpath.path[0], lightpath.path[1])
+        report = svc.fault_report(conn.connection_id)
+        assert "outage localized to" in report
+        assert "ROADM-I" in report
+
+    def test_fault_report_blocked(self, net):
+        svc = net.service_for("csp-tiny", max_connections=0)
+        conn = svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        assert "blocked" in svc.fault_report(conn.connection_id)
+
+
+class TestGuiRendering:
+    def test_connections_table(self, net, svc):
+        svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        text = render_connections(svc)
+        assert "conn-0" in text
+        assert "PREMISES-A" in text
+        assert "up" in text
+        assert "10 Gbps" in text
+
+    def test_interfaces_pane(self, net, svc):
+        svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        text = render_interfaces(svc)
+        assert "PREMISES-A" in text
+        assert "wavelength for conn-0" in text
+
+    def test_interfaces_pane_shows_shared_subchannels(self, net, svc):
+        """Sub-wavelength services share a channelized interface: the
+        pane shows sub-channel occupancy, not per-connection ownership."""
+        svc.request_connection("PREMISES-A", "PREMISES-B", 1)
+        svc.request_connection("PREMISES-A", "PREMISES-B", 1)
+        net.run()
+        text = render_interfaces(svc)
+        assert "channelized, 2/10 sub-channels" in text
+
+    def test_fault_panel_healthy(self, net, svc):
+        svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        assert render_fault_panel(svc) == "All connections in service."
+
+    def test_fault_panel_outage(self, net, svc):
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
+        net.controller.auto_restore = False
+        net.controller.cut_link(lightpath.path[0], lightpath.path[1])
+        panel = render_fault_panel(svc)
+        assert "outage" in panel

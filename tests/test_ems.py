@@ -1,0 +1,212 @@
+"""Tests for the EMS layer: latency catalog and element managers."""
+
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError, EquipmentError
+from repro.ems import (
+    DEFAULT_STEP_MEANS,
+    FxcController,
+    LatencyModel,
+    NteController,
+    OtnEms,
+    RoadmEms,
+)
+from repro.optical import (
+    FiberCrossConnect,
+    FiberPlant,
+    NetworkTerminatingEquipment,
+    Roadm,
+    WavelengthGrid,
+)
+from repro.otn import OtnLine, OtnSwitch
+from repro.sim import RandomStreams
+from repro.topo.testbed import build_testbed_graph
+
+
+@pytest.fixture
+def latency():
+    return LatencyModel(RandomStreams(42))
+
+
+@pytest.fixture
+def deterministic_latency():
+    return LatencyModel(RandomStreams(42), cv=0.0)
+
+
+class TestLatencyModel:
+    def test_known_step_mean(self, deterministic_latency):
+        assert deterministic_latency.mean("ot.tune") == 14.0
+
+    def test_unknown_step_rejected(self, latency):
+        with pytest.raises(ConfigurationError):
+            latency.sample("ghost.step")
+
+    def test_zero_cv_is_deterministic(self, deterministic_latency):
+        samples = {deterministic_latency.sample("fxc.connect") for _ in range(5)}
+        assert samples == {1.5}
+
+    def test_jitter_centers_on_mean(self, latency):
+        samples = [latency.sample("roadm.add_drop") for _ in range(500)]
+        assert statistics.fmean(samples) == pytest.approx(9.5, rel=0.05)
+
+    def test_extra_is_added(self, deterministic_latency):
+        assert deterministic_latency.sample("line.equalize", extra=0.7) == (
+            pytest.approx(2.7)
+        )
+
+    def test_extra_must_be_nonnegative(self, latency):
+        with pytest.raises(ConfigurationError):
+            latency.sample("line.equalize", extra=-1)
+
+    def test_speedup_divides_means(self):
+        model = LatencyModel(RandomStreams(0), cv=0.0, speedup=10.0)
+        assert model.mean("ot.tune") == pytest.approx(1.4)
+        assert model.sample("ot.tune") == pytest.approx(1.4)
+
+    def test_speedup_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(RandomStreams(0), speedup=0)
+
+    def test_negative_cv_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(RandomStreams(0), cv=-0.1)
+
+    def test_overrides_apply(self):
+        model = LatencyModel(
+            RandomStreams(0), means={"ot.tune": 1.0, "custom.step": 4.0}, cv=0.0
+        )
+        assert model.mean("ot.tune") == 1.0
+        assert model.mean("custom.step") == 4.0
+
+    def test_known_steps_covers_defaults(self, latency):
+        table = latency.known_steps()
+        assert set(DEFAULT_STEP_MEANS) <= set(table)
+
+
+class TestRoadmEms:
+    @pytest.fixture
+    def ems(self, deterministic_latency):
+        graph = build_testbed_graph()
+        grid = WavelengthGrid(8)
+        plant = FiberPlant(graph, grid)
+        roadms = {}
+        for name in ("ROADM-I", "ROADM-III", "ROADM-IV"):
+            roadm = Roadm(name, grid)
+            for neighbor in graph.neighbors(name):
+                roadm.add_degree(neighbor)
+            roadm.add_ports(4)
+            roadms[name] = roadm
+        return RoadmEms(roadms, plant, deterministic_latency)
+
+    def test_unknown_roadm(self, ems):
+        with pytest.raises(EquipmentError):
+            ems.roadm("ROADM-X")
+
+    def test_add_drop_duration_and_state(self, ems):
+        roadm = ems.roadm("ROADM-I")
+        port = roadm.ports[0]
+        duration = ems.configure_add_drop(
+            "ROADM-I", port.port_id, "ROADM-IV", 0, "lp-1"
+        )
+        assert duration == pytest.approx(9.5)
+        assert port.in_use
+
+    def test_remove_add_drop(self, ems):
+        roadm = ems.roadm("ROADM-I")
+        port = roadm.ports[0]
+        ems.configure_add_drop("ROADM-I", port.port_id, "ROADM-IV", 0, "lp-1")
+        duration = ems.remove_add_drop("ROADM-I", port.port_id, "lp-1")
+        assert duration == pytest.approx(2.0)
+        assert not port.in_use
+
+    def test_express_roundtrip(self, ems):
+        setup = ems.configure_express("ROADM-III", "ROADM-I", "ROADM-IV", 2, "lp-1")
+        teardown = ems.remove_express("ROADM-III", "ROADM-I", "ROADM-IV", 2, "lp-1")
+        assert setup == pytest.approx(2.0)
+        assert teardown == pytest.approx(0.5)
+
+    def test_channel_occupancy_passthrough(self, ems):
+        ems.occupy_channel("ROADM-I", "ROADM-IV", 3, "lp-1")
+        ems.release_channel("ROADM-I", "ROADM-IV", 3, "lp-1")
+
+    def test_equalize_includes_amplifier_settle(self, ems):
+        # Testbed link ROADM-I=ROADM-IV is 80 km -> one amplified span.
+        duration = ems.equalize_link("ROADM-I", "ROADM-IV")
+        assert duration == pytest.approx(2.0 + 0.35)
+
+    def test_verify_duration(self, ems):
+        assert ems.verify_lightpath() == pytest.approx(8.0)
+
+
+class TestFxcController:
+    @pytest.fixture
+    def controller(self, deterministic_latency):
+        fxc = FiberCrossConnect("FXC:A", 8)
+        fxc.label_port(0, "NTE")
+        fxc.label_port(1, "OT")
+        return FxcController({"PREMISES-A": fxc}, deterministic_latency)
+
+    def test_unknown_site(self, controller):
+        with pytest.raises(EquipmentError):
+            controller.fxc("PREMISES-Z")
+
+    def test_connect_and_disconnect(self, controller):
+        assert controller.connect("PREMISES-A", 0, 1, "c1") == pytest.approx(1.5)
+        assert controller.fxc("PREMISES-A").peer_of(0) == 1
+        assert controller.disconnect("PREMISES-A", 0, "c1") == pytest.approx(1.5)
+
+    def test_connect_by_label(self, controller):
+        controller.connect_labeled("PREMISES-A", "NTE", "OT", "c1")
+        assert controller.fxc("PREMISES-A").peer_of(0) == 1
+
+
+class TestOtnEms:
+    @pytest.fixture
+    def ems(self, deterministic_latency):
+        switch = OtnSwitch("NYC", client_port_count=4)
+        return OtnEms({"NYC": switch}, deterministic_latency)
+
+    def test_unknown_switch(self, ems):
+        with pytest.raises(EquipmentError):
+            ems.switch("LAX")
+
+    def test_nodes_listing(self, ems):
+        assert ems.nodes() == ["NYC"]
+
+    def test_client_port_claim_release(self, ems):
+        port = ems.claim_client_port("NYC", "ckt-1")
+        ems.release_client_port("NYC", port, "ckt-1")
+
+    def test_crossconnect_roundtrip(self, ems):
+        line = OtnLine("L", "NYC", "CHI")
+        setup = ems.crossconnect_slots(line, 2, "ckt-1")
+        assert setup == pytest.approx(1.2)
+        assert line.free_slot_count() == 6
+        teardown = ems.remove_crossconnect(line, "ckt-1")
+        assert teardown == pytest.approx(0.6)
+        assert line.free_slot_count() == 8
+
+
+class TestNteController:
+    @pytest.fixture
+    def controller(self, deterministic_latency):
+        nte = NetworkTerminatingEquipment("NTE:A", "PREMISES-A")
+        return NteController({"PREMISES-A": nte}, deterministic_latency)
+
+    def test_unknown_premises(self, controller):
+        with pytest.raises(EquipmentError):
+            controller.nte("PREMISES-Z")
+
+    def test_configure_returns_index_and_duration(self, controller):
+        index, duration = controller.configure_interface(
+            "PREMISES-A", "c1", channelized=False
+        )
+        assert index == 0
+        assert duration == pytest.approx(2.0)
+
+    def test_release(self, controller):
+        index, _ = controller.configure_interface("PREMISES-A", "c1", True)
+        duration = controller.release_interface("PREMISES-A", index, "c1")
+        assert duration == pytest.approx(1.0)

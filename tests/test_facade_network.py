@@ -1,0 +1,104 @@
+"""Tests for GriphonNetwork assembly mechanics and build options."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.facade import GriphonNetwork, build_griphon_testbed
+from repro.topo.testbed import build_testbed_graph
+from repro.units import gbps
+
+
+class TestGriphonNetwork:
+    def test_manual_assembly(self):
+        """The facade's own path: build inventory, then finish_build."""
+        net = GriphonNetwork(build_testbed_graph(), seed=3)
+        net.inventory.install_roadm("ROADM-I")
+        net.inventory.install_roadm("ROADM-IV")
+        net.inventory.install_transponders("ROADM-I", gbps(10), 2)
+        net.inventory.install_transponders("ROADM-IV", gbps(10), 2)
+        net.inventory.install_nte("PREMISES-A", "ROADM-I")
+        net.inventory.install_nte("PREMISES-C", "ROADM-IV")
+        net.finish_build()
+        assert net.controller is not None
+        assert net.maintenance is not None
+
+    def test_service_for_registers_once(self):
+        net = build_griphon_testbed(seed=3)
+        first = net.service_for("csp")
+        second = net.service_for("csp")
+        assert first is second
+
+    def test_service_profile_parameters(self):
+        net = build_griphon_testbed(seed=3)
+        net.service_for(
+            "vip",
+            premises=["PREMISES-A"],
+            max_connections=2,
+            max_total_rate_gbps=20,
+        )
+        profile = net.controller.admission.profile("vip")
+        assert profile.max_connections == 2
+        assert profile.max_total_rate_bps == gbps(20)
+        assert profile.premises == ["PREMISES-A"]
+
+    def test_premises_restriction_enforced(self):
+        net = build_griphon_testbed(seed=3)
+        vip = net.service_for("vip", premises=["PREMISES-A", "PREMISES-B"])
+        conn = vip.request_connection("PREMISES-A", "PREMISES-C", 10)
+        assert conn.blocked_reason
+        with pytest.raises(AdmissionError):
+            net.controller.admission.admit(
+                "vip", "PREMISES-A", "PREMISES-C", gbps(1)
+            )
+
+    def test_run_returns_event_count(self):
+        net = build_griphon_testbed(seed=3)
+        svc = net.service_for("csp")
+        svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        assert net.run() > 0
+
+    def test_latency_cv_none_gives_jitter(self):
+        def setup_time(seed):
+            net = build_griphon_testbed(seed=seed)  # default jitter
+            svc = net.service_for("csp")
+            conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+            net.run()
+            return conn.setup_duration
+
+        assert setup_time(10) != setup_time(11)
+
+    def test_latency_cv_zero_is_deterministic_across_seeds(self):
+        def setup_time(seed):
+            net = build_griphon_testbed(seed=seed, latency_cv=0.0)
+            svc = net.service_for("csp")
+            conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+            net.run()
+            return conn.setup_duration
+
+        assert setup_time(10) == setup_time(11)
+
+    def test_grid_size_option(self):
+        net = build_griphon_testbed(seed=3, grid_size=4)
+        assert net.inventory.grid.size == 4
+
+    def test_ip_layer_covers_core_mesh(self):
+        net = build_griphon_testbed(seed=3)
+        ip = net.controller.ip_layer
+        assert sorted(ip.routers) == [
+            "ROADM-I",
+            "ROADM-II",
+            "ROADM-III",
+            "ROADM-IV",
+        ]
+        # One adjacency per inter-ROADM fiber span (5 in the testbed).
+        adjacency_count = sum(
+            1
+            for link in net.inventory.graph.links
+            if not link.a.startswith("PREMISES")
+            and not link.b.startswith("PREMISES")
+        )
+        assert adjacency_count == 5
+        for link in net.inventory.graph.links:
+            if link.a.startswith("PREMISES") or link.b.startswith("PREMISES"):
+                continue
+            assert ip.adjacency(link.a, link.b).up

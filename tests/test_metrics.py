@@ -1,0 +1,80 @@
+"""Tests for the metrics collector and summary statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import MetricsCollector, summarize
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        summary = summarize([5.0])
+        assert summary.count == 1
+        assert summary.mean == summary.p50 == summary.p95 == 5.0
+
+    def test_known_values(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == 3.0
+
+    def test_p95_interpolates(self):
+        summary = summarize(list(map(float, range(1, 101))))
+        assert summary.p95 == pytest.approx(95.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_format(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text
+        assert "mean=1.5" in text
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100
+        )
+    )
+    def test_invariants(self, samples):
+        summary = summarize(samples)
+        assert summary.minimum <= summary.p50 <= summary.p95 <= summary.maximum
+        # Mean can drift past the extremes by float rounding only.
+        tolerance = 1e-9 * max(1.0, abs(summary.maximum), abs(summary.minimum))
+        assert summary.minimum - tolerance <= summary.mean
+        assert summary.mean <= summary.maximum + tolerance
+        assert summary.count == len(samples)
+
+
+class TestCollector:
+    def test_counters(self):
+        metrics = MetricsCollector()
+        metrics.count("requests")
+        metrics.count("requests", 2)
+        assert metrics.counter("requests") == 3
+        assert metrics.counter("never") == 0
+
+    def test_series(self):
+        metrics = MetricsCollector()
+        metrics.record("setup", 62.0)
+        metrics.record("setup", 66.0)
+        assert metrics.samples("setup") == [62.0, 66.0]
+        assert metrics.summary("setup").mean == 64.0
+
+    def test_summary_of_empty_series(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().summary("nothing")
+
+    def test_samples_returns_copy(self):
+        metrics = MetricsCollector()
+        metrics.record("x", 1.0)
+        metrics.samples("x").append(99.0)
+        assert metrics.samples("x") == [1.0]
+
+    def test_names(self):
+        metrics = MetricsCollector()
+        metrics.count("a")
+        metrics.record("b", 1.0)
+        assert metrics.names() == {"a": "counter", "b": "series"}

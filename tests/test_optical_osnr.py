@@ -1,0 +1,100 @@
+"""Tests for the OSNR-based reach model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SignalError
+from repro.optical.impairments import ReachModel
+from repro.optical.osnr import OsnrModel
+from repro.units import gbps
+
+
+@pytest.fixture
+def model():
+    return OsnrModel()
+
+
+class TestBudget:
+    def test_span_count(self, model):
+        assert model.span_count(80.0) == 1
+        assert model.span_count(81.0) == 2
+        assert model.span_count(800.0) == 10
+
+    def test_span_count_rejects_nonpositive(self, model):
+        with pytest.raises(ConfigurationError):
+            model.span_count(0)
+
+    def test_single_span_osnr(self, model):
+        # 58 + 0 - 5.5 - 20 - 0 = 32.5 dB.
+        assert model.osnr_db(80.0) == pytest.approx(32.5)
+
+    def test_osnr_falls_3db_per_doubling(self, model):
+        one = model.osnr_db(80.0)
+        two = model.osnr_db(160.0)
+        four = model.osnr_db(320.0)
+        assert one - two == pytest.approx(10 * 0.30103, abs=1e-3)
+        assert two - four == pytest.approx(10 * 0.30103, abs=1e-3)
+
+    @given(km=st.floats(min_value=1.0, max_value=10000.0))
+    def test_osnr_monotone_nonincreasing(self, km):
+        model = OsnrModel()
+        assert model.osnr_db(km) >= model.osnr_db(km + 500.0)
+
+    def test_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            OsnrModel(span_km=0)
+        with pytest.raises(ConfigurationError):
+            OsnrModel(loss_db_per_km=0)
+        with pytest.raises(ConfigurationError):
+            OsnrModel(required_osnr_db={})
+
+
+class TestRequirements:
+    def test_higher_rate_needs_more_osnr_than_10g(self, model):
+        assert model.required_osnr_db(gbps(40)) > model.required_osnr_db(
+            gbps(10)
+        )
+
+    def test_unknown_rate(self, model):
+        with pytest.raises(SignalError):
+            model.required_osnr_db(gbps(2.5))
+
+    def test_viability_flips_with_distance(self, model):
+        assert model.viable(800.0, gbps(10))
+        assert not model.viable(5000.0, gbps(10))
+
+    def test_viability_flips_with_rate(self, model):
+        # Pick a distance where 10G closes but 40G does not.
+        km = 2000.0
+        assert model.viable(km, gbps(10))
+        assert not model.viable(km, gbps(40))
+
+
+class TestDerivedReach:
+    def test_reaches_match_deployed_budgets(self, model):
+        """The derived budgets land near the ReachModel's table."""
+        table = model.reach_table_km()
+        assert table[gbps(10)] == pytest.approx(2500, rel=0.25)
+        assert table[gbps(40)] == pytest.approx(1500, rel=0.25)
+        assert table[gbps(100)] == pytest.approx(2000, rel=0.30)
+
+    def test_ordering_matches_physics(self, model):
+        table = model.reach_table_km()
+        assert table[gbps(40)] < table[gbps(100)] < table[gbps(10)]
+
+    def test_derived_table_feeds_reach_model(self, model):
+        reach = ReachModel(model.reach_table_km())
+        assert reach.needs_regen(3000.0, gbps(10))
+        assert not reach.needs_regen(1000.0, gbps(10))
+
+    def test_max_reach_consistent_with_viable(self, model):
+        for rate in (gbps(10), gbps(40), gbps(100)):
+            reach = model.max_reach_km(rate)
+            assert model.viable(reach, rate)
+            assert not model.viable(reach + 2 * model.span_km, rate)
+
+    def test_impossible_rate_raises(self):
+        model = OsnrModel(required_osnr_db={gbps(10): 40.0})
+        with pytest.raises(SignalError):
+            model.max_reach_km(gbps(10))

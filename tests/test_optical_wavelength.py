@@ -1,0 +1,71 @@
+"""Tests for the ITU wavelength grid."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.optical import WavelengthGrid
+
+
+class TestGridBasics:
+    def test_default_size(self):
+        assert len(WavelengthGrid()) == 80
+
+    def test_custom_size(self):
+        assert WavelengthGrid(40).size == 40
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            WavelengthGrid(0)
+
+    def test_channels_iterates_all(self):
+        assert list(WavelengthGrid(4).channels()) == [0, 1, 2, 3]
+
+    def test_contains(self):
+        grid = WavelengthGrid(10)
+        assert 0 in grid
+        assert 9 in grid
+        assert 10 not in grid
+        assert -1 not in grid
+        assert "ch0" not in grid
+
+    def test_validate_passes_through(self):
+        assert WavelengthGrid(10).validate(5) == 5
+
+    def test_validate_rejects_off_grid(self):
+        grid = WavelengthGrid(10)
+        with pytest.raises(ConfigurationError):
+            grid.validate(10)
+        with pytest.raises(ConfigurationError):
+            grid.validate(-1)
+
+
+class TestFrequencies:
+    def test_anchor_channel(self):
+        assert WavelengthGrid().frequency_thz(0) == pytest.approx(193.1)
+
+    def test_fifty_ghz_spacing(self):
+        grid = WavelengthGrid()
+        assert grid.frequency_thz(1) - grid.frequency_thz(0) == pytest.approx(0.05)
+
+    def test_wavelength_in_c_band(self):
+        grid = WavelengthGrid(80)
+        for channel in (0, 40, 79):
+            assert 1520 <= grid.wavelength_nm(channel) <= 1565
+
+    def test_wavelength_decreases_with_frequency(self):
+        grid = WavelengthGrid()
+        assert grid.wavelength_nm(1) < grid.wavelength_nm(0)
+
+    def test_channel_name_format(self):
+        name = WavelengthGrid().channel_name(12)
+        assert name.startswith("ch012 (")
+        assert name.endswith(" nm)")
+
+    @given(channel=st.integers(min_value=0, max_value=79))
+    def test_frequency_wavelength_roundtrip(self, channel):
+        grid = WavelengthGrid(80)
+        freq = grid.frequency_thz(channel)
+        nm = grid.wavelength_nm(channel)
+        assert freq * nm == pytest.approx(299_792.458, rel=1e-9)

@@ -1,0 +1,132 @@
+"""Tests for the declarative scenario runner."""
+
+import pytest
+
+from repro.core.connection import ConnectionState
+from repro.errors import ConfigurationError
+from repro.facade import build_griphon_testbed
+from repro.scenario import Scenario, ScenarioEvent, run_scenario
+from repro.units import HOUR
+
+
+def basic_spec():
+    return {
+        "name": "cut-and-repair",
+        "duration_s": 4 * HOUR,
+        "events": [
+            {"at": 0, "action": "request",
+             "params": {"customer": "csp", "a": "PREMISES-A",
+                        "b": "PREMISES-C", "rate_gbps": 10}},
+            {"at": 1 * HOUR, "action": "cut",
+             "params": {"a": "ROADM-I", "b": "ROADM-IV"}},
+            {"at": 2 * HOUR, "action": "repair",
+             "params": {"a": "ROADM-I", "b": "ROADM-IV"}},
+            {"at": 3 * HOUR, "action": "teardown", "params": {"index": 0}},
+        ],
+    }
+
+
+class TestSpecParsing:
+    def test_from_dict_roundtrip(self):
+        scenario = Scenario.from_dict(basic_spec())
+        assert scenario.name == "cut-and-repair"
+        assert len(scenario.events) == 4
+
+    def test_missing_key(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.from_dict({"name": "x", "events": []})
+
+    def test_unknown_action(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioEvent(0, "explode")
+
+    def test_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioEvent(-1, "cut")
+
+    def test_event_beyond_duration(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("x", 10.0, [ScenarioEvent(20.0, "cut")])
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("x", 0.0, [])
+
+
+class TestExecution:
+    def test_full_lifecycle(self):
+        net = build_griphon_testbed(seed=14, latency_cv=0.0)
+        result = run_scenario(net, Scenario.from_dict(basic_spec()))
+        assert result.errors == []
+        conn = result.connections[0]
+        assert conn.state is ConnectionState.RELEASED
+        # The cut at 1h cost about a minute of restoration.
+        assert 30 < conn.total_outage_s < 180
+        assert any("cut" in line for line in result.log)
+
+    def test_availability_report(self):
+        net = build_griphon_testbed(seed=14, latency_cv=0.0)
+        result = run_scenario(net, Scenario.from_dict(basic_spec()))
+        report = result.availability_report()
+        conn = result.connections[0]
+        assert 0.97 < report[conn.connection_id] < 1.0
+
+    def test_maintenance_action(self):
+        net = build_griphon_testbed(seed=15, latency_cv=0.0)
+        scenario = Scenario.from_dict({
+            "name": "maintenance",
+            "duration_s": 8 * HOUR,
+            "events": [
+                {"at": 0, "action": "request",
+                 "params": {"customer": "csp", "a": "PREMISES-A",
+                            "b": "PREMISES-C", "rate_gbps": 10}},
+                {"at": 1 * HOUR, "action": "maintenance",
+                 "params": {"a": "ROADM-I", "b": "ROADM-IV",
+                            "duration": 2 * HOUR}},
+            ],
+        })
+        result = run_scenario(net, scenario)
+        assert result.errors == []
+        conn = result.connections[0]
+        # Bridge-and-roll kept the maintenance nearly hitless.
+        assert conn.total_outage_s < 0.2
+
+    def test_errors_recorded_not_raised(self):
+        net = build_griphon_testbed(seed=16, latency_cv=0.0)
+        scenario = Scenario.from_dict({
+            "name": "broken",
+            "duration_s": HOUR,
+            "events": [
+                {"at": 0, "action": "teardown", "params": {"index": 0}},
+                {"at": 10, "action": "cut",
+                 "params": {"a": "ROADM-I", "b": "GHOST"}},
+            ],
+        })
+        result = run_scenario(net, scenario)
+        assert len(result.errors) == 2
+        assert result.connections == []
+
+    def test_regroom_and_reclaim_actions(self):
+        net = build_griphon_testbed(seed=17, latency_cv=0.0,
+                                    nte_interfaces=12)
+        scenario = Scenario.from_dict({
+            "name": "housekeeping",
+            "duration_s": 6 * HOUR,
+            "events": [
+                {"at": 0, "action": "cut",
+                 "params": {"a": "ROADM-I", "b": "ROADM-IV"}},
+                {"at": 60, "action": "request",
+                 "params": {"customer": "csp", "a": "PREMISES-A",
+                            "b": "PREMISES-C", "rate_gbps": 10}},
+                {"at": 1 * HOUR, "action": "repair",
+                 "params": {"a": "ROADM-I", "b": "ROADM-IV"}},
+                {"at": 2 * HOUR, "action": "regroom", "params": {}},
+                {"at": 3 * HOUR, "action": "reclaim", "params": {}},
+            ],
+        })
+        result = run_scenario(net, scenario)
+        assert result.errors == []
+        conn = result.connections[0]
+        path = net.inventory.lightpaths[conn.lightpath_ids[0]].path
+        assert path == ["ROADM-I", "ROADM-IV"]  # regroomed back
+        assert any("regroom: 1 candidate" in line for line in result.log)

@@ -1,0 +1,189 @@
+"""Tests for the discrete-event kernel: ordering, cancellation, tracing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=42.0).now == 42.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(2.0, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for i in range(20):
+            sim.schedule(5.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(20))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+
+    def test_run_until_then_continue(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_returns_event_count(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run() == 5
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(0.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_step_on_empty_queue(self):
+        assert Simulator().step() is False
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestCancellation:
+    def test_canceled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.canceled
+
+    def test_cancel_from_earlier_event(self):
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(2.0, fired.append, "victim")
+        sim.schedule(1.0, victim.cancel)
+        sim.run()
+        assert fired == []
+
+
+class TestTracing:
+    def test_trace_records_labeled_events(self):
+        sim = Simulator()
+        sim.enable_trace()
+        sim.schedule(1.0, lambda: None, label="tune-laser")
+        sim.schedule(2.0, lambda: None)  # unlabeled: not traced
+        sim.run()
+        assert sim.trace == [(1.0, "tune-laser")]
+
+    def test_trace_disabled_by_default(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None, label="x")
+        sim.run()
+        assert sim.trace == []
+
+
+class TestDeterminism:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+    def test_fire_times_are_sorted(self, delays):
+        sim = Simulator()
+        times = []
+        for delay in delays:
+            sim.schedule(delay, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0, max_value=100), min_size=1, max_size=30
+        )
+    )
+    def test_identical_schedules_give_identical_orders(self, delays):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for i, delay in enumerate(delays):
+                sim.schedule(delay, order.append, i)
+            sim.run()
+            return order
+
+        assert run_once() == run_once()

@@ -12,6 +12,7 @@ automated restorations."  (paper §2.2)
 Sub-modules, in dependency order:
 
 * :mod:`repro.core.inventory` — the controller's resource database;
+* :mod:`repro.core.routecache` — generation-stamped LRU route cache;
 * :mod:`repro.core.rwa` — routing and wavelength assignment;
 * :mod:`repro.core.connection` — customer connection records;
 * :mod:`repro.core.provisioning` — resource claiming with rollback plus
@@ -38,6 +39,7 @@ from repro.core.maintenance import MaintenanceScheduler
 from repro.core.planning import DemandForecast, ResourcePlanner
 from repro.core.reclamation import OtnLineReclaimer
 from repro.core.regrooming import RegroomingEngine
+from repro.core.routecache import RouteCache
 from repro.core.rwa import RwaEngine, RwaPlan
 from repro.core.service import BodService
 
@@ -57,6 +59,7 @@ __all__ = [
     "ResourcePlanner",
     "OtnLineReclaimer",
     "RegroomingEngine",
+    "RouteCache",
     "RwaEngine",
     "RwaPlan",
     "BodService",

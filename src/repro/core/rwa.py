@@ -29,6 +29,7 @@ from repro.errors import (
     WavelengthBlockedError,
 )
 from repro.core.inventory import InventoryDatabase
+from repro.core.routecache import RouteCache, make_route_key
 from repro.optical.impairments import ReachModel
 from repro.optical.lightpath import Segment
 from repro.sim.randomness import RandomStreams
@@ -66,6 +67,8 @@ class RwaEngine:
         k_paths: int = 4,
         assignment: str = "first-fit",
         streams: Optional[RandomStreams] = None,
+        route_cache: Optional[RouteCache] = None,
+        route_cache_size: int = 1024,
     ) -> None:
         if assignment not in ("first-fit", "random"):
             raise ConfigurationError(
@@ -80,6 +83,17 @@ class RwaEngine:
         self._k_paths = k_paths
         self._assignment = assignment
         self._streams = streams
+        if route_cache is not None:
+            self._cache: Optional[RouteCache] = route_cache
+        elif route_cache_size > 0:
+            self._cache = RouteCache(route_cache_size)
+        else:
+            self._cache = None
+
+    @property
+    def route_cache(self) -> Optional[RouteCache]:
+        """The candidate-route cache, or ``None`` when caching is disabled."""
+        return self._cache
 
     def plan(
         self,
@@ -119,12 +133,8 @@ class RwaEngine:
             for srlg in graph.srlgs_on_path(avoid_srlgs_of):
                 banned_links |= {link.key for link in graph.links_in_srlg(srlg)}
             banned_nodes |= set(avoid_srlgs_of[1:-1])
-        candidates = graph.k_shortest_paths(
-            source,
-            destination,
-            self._k_paths,
-            excluded_links=banned_links,
-            excluded_nodes=banned_nodes,
+        candidates = self._candidate_routes(
+            source, destination, banned_links, banned_nodes
         )
         live_candidates = [
             path for path in candidates if self._inventory.plant.path_is_up(path)
@@ -150,6 +160,52 @@ class RwaEngine:
 
     # -- internals ------------------------------------------------------------
 
+    def _candidate_routes(
+        self,
+        source: str,
+        destination: str,
+        banned_links: set,
+        banned_nodes: set,
+    ) -> List[List[str]]:
+        """K-shortest candidate routes, served from the cache when fresh.
+
+        Entries are stamped with the topology generation and fiber-plant
+        failure epoch; "no path" outcomes are cached as an empty route
+        list so repeated blocked requests stay cheap too.
+        """
+        if self._cache is None:
+            return self._inventory.graph.k_shortest_paths(
+                source,
+                destination,
+                self._k_paths,
+                excluded_links=banned_links,
+                excluded_nodes=banned_nodes,
+            )
+        graph = self._inventory.graph
+        generation = graph.generation
+        epoch = self._inventory.plant.failure_epoch
+        key = make_route_key(
+            source, destination, self._k_paths, banned_links, banned_nodes
+        )
+        cached = self._cache.get(key, generation, epoch)
+        if cached is not None:
+            if not cached:
+                raise NoPathError(f"no path from {source!r} to {destination!r}")
+            return cached
+        try:
+            routes = graph.k_shortest_paths(
+                source,
+                destination,
+                self._k_paths,
+                excluded_links=banned_links,
+                excluded_nodes=banned_nodes,
+            )
+        except NoPathError:
+            self._cache.put(key, generation, epoch, [])
+            raise
+        self._cache.put(key, generation, epoch, routes)
+        return routes
+
     def _assign(
         self, path: List[str], rate_bps: float
     ) -> Tuple[List[Segment], List[str]]:
@@ -157,7 +213,10 @@ class RwaEngine:
         graph = self._inventory.graph
         regen_sites = self._reach.regen_sites(graph, path, rate_bps)
         boundaries = [path[0]] + regen_sites + [path[-1]]
-        indices = [path.index(b) for b in boundaries]
+        # Candidate routes are simple paths, so node names are unique and
+        # a single node->index map replaces the O(n^2) repeated .index().
+        position = {node: index for index, node in enumerate(path)}
+        indices = [position[b] for b in boundaries]
         segments = []
         for start, end in zip(indices, indices[1:]):
             nodes = path[start : end + 1]

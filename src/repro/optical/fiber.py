@@ -16,6 +16,16 @@ from repro.optical.wavelength import WavelengthGrid
 from repro.topo.graph import Link, NetworkGraph
 
 
+def _mask_to_set(mask: int) -> Set[int]:
+    """Expand a free-channel bitmask into the public ``Set[int]`` form."""
+    result: Set[int] = set()
+    while mask:
+        low = mask & -mask
+        result.add(low.bit_length() - 1)
+        mask ^= low
+    return result
+
+
 class DwdmLink:
     """Wavelength occupancy on one bidirectional fiber pair.
 
@@ -28,6 +38,9 @@ class DwdmLink:
         self._link = link
         self._grid = grid
         self._owners: Dict[int, str] = {}
+        # Bit i set <=> channel i free.  Kept in lockstep with _owners so
+        # path-wide intersection is a chain of integer ANDs.
+        self._free_mask = (1 << grid.size) - 1
         self._failed = False
 
     @property
@@ -52,7 +65,11 @@ class DwdmLink:
 
     def free_channels(self) -> Set[int]:
         """Channels available for a new lightpath."""
-        return {ch for ch in self._grid.channels() if ch not in self._owners}
+        return _mask_to_set(self._free_mask)
+
+    def free_mask(self) -> int:
+        """Occupancy as an integer bitmask: bit ``i`` set iff channel ``i`` is free."""
+        return self._free_mask
 
     def owner_of(self, channel: int) -> Optional[str]:
         """The owner of ``channel``, or ``None`` if it is dark."""
@@ -75,6 +92,7 @@ class DwdmLink:
                 f"channel {channel} on {self._link} is held by {current!r}"
             )
         self._owners[channel] = owner
+        self._free_mask &= ~(1 << channel)
 
     def release(self, channel: int, owner: str) -> None:
         """Darken ``channel``, verifying the caller owns it.
@@ -92,6 +110,7 @@ class DwdmLink:
                 f"not {owner!r}"
             )
         del self._owners[channel]
+        self._free_mask |= 1 << channel
 
     def fail(self) -> Set[str]:
         """Cut the fiber; returns the owners whose channels were affected.
@@ -120,6 +139,7 @@ class FiberPlant:
         self._links: Dict[Tuple[str, str], DwdmLink] = {
             link.key: DwdmLink(link, self._grid) for link in graph.links
         }
+        self._failure_epoch = 0
         #: Callbacks invoked with (link_key, affected_owners) on each cut.
         self.on_failure: List[Callable[[Tuple[str, str], Set[str]], None]] = []
 
@@ -133,8 +153,20 @@ class FiberPlant:
         """The shared wavelength grid."""
         return self._grid
 
+    @property
+    def failure_epoch(self) -> int:
+        """Monotonic counter bumped on every fiber cut or repair.
+
+        Route caches stamp entries with this value so failure-state
+        changes invalidate exactly the plans they could affect.
+        """
+        return self._failure_epoch
+
     def dwdm_link(self, a: str, b: str) -> DwdmLink:
         """The DWDM state for the link joining ``a`` and ``b``.
+
+        Links added to the topology after the plant was built are picked
+        up lazily, with all channels dark.
 
         Raises:
             TopologyError: if no such link exists.
@@ -143,7 +175,10 @@ class FiberPlant:
         try:
             return self._links[key]
         except KeyError:
-            raise TopologyError(f"no DWDM link between {a!r} and {b!r}") from None
+            link = self._graph.link_between(a, b)  # raises TopologyError
+            dwdm = DwdmLink(link, self._grid)
+            self._links[key] = dwdm
+            return dwdm
 
     def links_on_path(self, path: List[str]) -> List[DwdmLink]:
         """DWDM link states along a node path."""
@@ -153,19 +188,24 @@ class FiberPlant:
         """True if no link along the path is failed."""
         return all(not link.failed for link in self.links_on_path(path))
 
+    def common_free_mask(self, path: List[str]) -> int:
+        """Bitmask of channels free on *every* link of the path."""
+        mask = (1 << self._grid.size) - 1
+        for link in self.links_on_path(path):
+            mask &= link.free_mask()
+            if not mask:
+                break
+        return mask
+
     def common_free_channels(self, path: List[str]) -> Set[int]:
         """Channels free on *every* link of the path.
 
         This is the wavelength-continuity constraint: without OEO
-        conversion a lightpath must use one channel end to end.
+        conversion a lightpath must use one channel end to end.  The
+        intersection is computed as a chain of integer ANDs over the
+        per-link free masks, with one mask-to-set conversion at the end.
         """
-        links = self.links_on_path(path)
-        if not links:
-            return set(self._grid.channels())
-        free = links[0].free_channels()
-        for link in links[1:]:
-            free &= link.free_channels()
-        return free
+        return _mask_to_set(self.common_free_mask(path))
 
     # -- failure injection ------------------------------------------------------
 
@@ -173,6 +213,7 @@ class FiberPlant:
         """Cut a single fiber link; returns affected owners and notifies."""
         dwdm = self.dwdm_link(a, b)
         affected = dwdm.fail()
+        self._failure_epoch += 1
         for callback in self.on_failure:
             callback(dwdm.link.key, affected)
         return affected
@@ -193,6 +234,7 @@ class FiberPlant:
     def repair_link(self, a: str, b: str) -> None:
         """Repair a single fiber link."""
         self.dwdm_link(a, b).repair()
+        self._failure_epoch += 1
 
     def repair_srlg(self, srlg: str) -> None:
         """Repair every link in a shared-risk group."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 
 class Event:
@@ -20,7 +20,16 @@ class Event:
         label: Optional human-readable tag used in traces.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "label", "_canceled")
+    __slots__ = (
+        "time",
+        "seq",
+        "callback",
+        "args",
+        "label",
+        "_canceled",
+        "_fired",
+        "_on_cancel",
+    )
 
     def __init__(
         self,
@@ -29,6 +38,7 @@ class Event:
         callback: Callable[..., Any],
         args: Tuple[Any, ...] = (),
         label: str = "",
+        on_cancel: Optional[Callable[[], None]] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -36,6 +46,8 @@ class Event:
         self.args = args
         self.label = label
         self._canceled = False
+        self._fired = False
+        self._on_cancel = on_cancel
 
     @property
     def canceled(self) -> bool:
@@ -43,12 +55,22 @@ class Event:
         return self._canceled
 
     def cancel(self) -> None:
-        """Prevent the event from firing; safe to call more than once."""
+        """Prevent the event from firing; safe to call more than once.
+
+        The first cancellation of a not-yet-fired event notifies the
+        owning kernel (via ``on_cancel``) so it can keep its live
+        pending count without scanning the heap.
+        """
+        if self._canceled:
+            return
         self._canceled = True
+        if not self._fired and self._on_cancel is not None:
+            self._on_cancel()
 
     def fire(self) -> None:
         """Invoke the callback unless the event was canceled."""
         if not self._canceled:
+            self._fired = True
             self.callback(*self.args)
 
     def __lt__(self, other: "Event") -> bool:

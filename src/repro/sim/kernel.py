@@ -27,6 +27,7 @@ class Simulator:
         self._now = start_time
         self._seq = 0
         self._heap: List[Event] = []
+        self._pending = 0
         self._running = False
         self._trace: List[Tuple[float, str]] = []
         self._trace_enabled = False
@@ -40,8 +41,15 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-canceled events in the queue."""
-        return sum(1 for event in self._heap if not event.canceled)
+        """Number of not-yet-fired, not-canceled events in the queue.
+
+        Maintained as a live counter (decremented on cancel and fire)
+        rather than an O(n) scan of the heap.
+        """
+        return self._pending
+
+    def _event_canceled(self) -> None:
+        self._pending -= 1
 
     # -- scheduling ---------------------------------------------------------
 
@@ -79,9 +87,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time, self._seq, callback, args, label)
+        event = Event(time, self._seq, callback, args, label, self._event_canceled)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
 
     # -- execution ----------------------------------------------------------
@@ -95,6 +104,7 @@ class Simulator:
             self._now = event.time
             if self._trace_enabled and event.label:
                 self._trace.append((self._now, event.label))
+            self._pending -= 1
             event.fire()
             return True
         return False

@@ -91,6 +91,21 @@ class NetworkGraph:
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._adjacency: Dict[str, Set[str]] = {}
+        # Pre-sorted (neighbor, link) lists per node so the Dijkstra inner
+        # loop needs neither sorted() nor link_between(); rebuilt lazily
+        # per node after a mutation touches it.
+        self._sorted_adjacency: Dict[str, List[Tuple[str, Link]]] = {}
+        self._srlg_index: Dict[str, List[Link]] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped on every topology mutation.
+
+        Caches keyed on routing results (e.g. the RWA route cache) stamp
+        entries with this value and invalidate when it moves.
+        """
+        return self._generation
 
     # -- construction --------------------------------------------------------
 
@@ -109,6 +124,8 @@ class NetworkGraph:
             return existing
         self._nodes[node.name] = node
         self._adjacency[node.name] = set()
+        self._sorted_adjacency[node.name] = []
+        self._generation += 1
         return node
 
     def add_link(self, link: Link) -> Link:
@@ -127,6 +144,11 @@ class NetworkGraph:
         self._links[link.key] = link
         self._adjacency[link.a].add(link.b)
         self._adjacency[link.b].add(link.a)
+        self._sorted_adjacency.pop(link.a, None)
+        self._sorted_adjacency.pop(link.b, None)
+        for srlg in link.srlgs:
+            self._srlg_index.setdefault(srlg, []).append(link)
+        self._generation += 1
         return link
 
     # -- lookup ----------------------------------------------------------------
@@ -210,7 +232,18 @@ class NetworkGraph:
 
     def links_in_srlg(self, srlg: str) -> List[Link]:
         """All links belonging to the given shared-risk group."""
-        return [link for link in self._links.values() if srlg in link.srlgs]
+        return list(self._srlg_index.get(srlg, ()))
+
+    def _sorted_neighbors(self, name: str) -> List[Tuple[str, Link]]:
+        """Pre-sorted (neighbor, link) pairs for ``name`` (lazily rebuilt)."""
+        cached = self._sorted_adjacency.get(name)
+        if cached is None:
+            cached = [
+                (neighbor, self._links[(name, neighbor) if name <= neighbor else (neighbor, name)])
+                for neighbor in sorted(self._adjacency[name])
+            ]
+            self._sorted_adjacency[name] = cached
+        return cached
 
     # -- path search -------------------------------------------------------------
 
@@ -257,10 +290,9 @@ class NetworkGraph:
             visited.add(current)
             if current == target:
                 return self._reconstruct(previous, source, target)
-            for neighbor in sorted(self._adjacency[current]):
+            for neighbor, link in self._sorted_neighbors(current):
                 if neighbor in banned_nodes or neighbor in visited:
                     continue
-                link = self.link_between(current, neighbor)
                 if link.key in banned_links:
                     continue
                 cost = weight(link)

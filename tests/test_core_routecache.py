@@ -1,0 +1,136 @@
+"""Unit tests for the generation-stamped LRU route cache."""
+
+import pytest
+
+from repro.core.inventory import InventoryDatabase
+from repro.core.routecache import RouteCache, make_route_key
+from repro.core.rwa import RwaEngine
+from repro.errors import ConfigurationError, NoPathError
+from repro.topo.testbed import build_testbed_graph
+
+
+def make_inventory():
+    return InventoryDatabase(build_testbed_graph())
+
+
+class TestRouteCache:
+    def test_put_get_roundtrip(self):
+        cache = RouteCache()
+        key = make_route_key("A", "B", 4)
+        cache.put(key, 1, 0, [["A", "B"]])
+        assert cache.get(key, 1, 0) == [["A", "B"]]
+        assert cache.hits == 1
+
+    def test_miss_on_unknown_key(self):
+        cache = RouteCache()
+        assert cache.get(make_route_key("A", "B", 4), 0, 0) is None
+        assert cache.misses == 1
+
+    def test_generation_mismatch_invalidates(self):
+        cache = RouteCache()
+        key = make_route_key("A", "B", 4)
+        cache.put(key, 1, 0, [["A", "B"]])
+        assert cache.get(key, 2, 0) is None
+        assert cache.invalidations == 1
+        # The stale entry is evicted, not retried.
+        assert len(cache) == 0
+
+    def test_epoch_mismatch_invalidates(self):
+        cache = RouteCache()
+        key = make_route_key("A", "B", 4)
+        cache.put(key, 1, 0, [["A", "B"]])
+        assert cache.get(key, 1, 1) is None
+        assert cache.invalidations == 1
+
+    def test_lru_eviction_order(self):
+        cache = RouteCache(capacity=2)
+        k1, k2, k3 = (make_route_key("A", n, 1) for n in ("B", "C", "D"))
+        cache.put(k1, 0, 0, [["A"]])
+        cache.put(k2, 0, 0, [["A"]])
+        cache.get(k1, 0, 0)  # refresh k1
+        cache.put(k3, 0, 0, [["A"]])  # evicts k2
+        assert cache.get(k2, 0, 0) is None
+        assert cache.get(k1, 0, 0) is not None
+        assert cache.get(k3, 0, 0) is not None
+
+    def test_returned_list_is_a_copy(self):
+        cache = RouteCache()
+        key = make_route_key("A", "B", 4)
+        cache.put(key, 0, 0, [["A", "B"]])
+        cache.get(key, 0, 0).clear()
+        assert cache.get(key, 0, 0) == [["A", "B"]]
+
+    def test_key_normalizes_exclusion_order(self):
+        k1 = make_route_key("A", "B", 4, [("X", "Y"), ("P", "Q")], ["N1", "N2"])
+        k2 = make_route_key("A", "B", 4, [("P", "Q"), ("X", "Y")], ["N2", "N1"])
+        assert k1 == k2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RouteCache(capacity=0)
+
+    def test_stats_shape(self):
+        cache = RouteCache(capacity=8)
+        cache.get(make_route_key("A", "B", 1), 0, 0)
+        stats = cache.stats()
+        assert stats["capacity"] == 8
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.0
+
+
+class TestEngineCaching:
+    def test_warm_plan_hits_cache_and_matches(self):
+        inventory = make_inventory()
+        engine = RwaEngine(inventory)
+        cold = engine.plan("ROADM-I", "ROADM-IV", 10e9)
+        warm = engine.plan("ROADM-I", "ROADM-IV", 10e9)
+        assert warm == cold
+        assert engine.route_cache.hits == 1
+
+    def test_cut_and_repair_invalidate(self):
+        inventory = make_inventory()
+        engine = RwaEngine(inventory)
+        direct = engine.plan("ROADM-I", "ROADM-IV", 10e9)
+        assert direct.path == ["ROADM-I", "ROADM-IV"]
+        inventory.plant.cut_link("ROADM-I", "ROADM-IV")
+        detour = engine.plan("ROADM-I", "ROADM-IV", 10e9)
+        assert detour.path != direct.path
+        inventory.plant.repair_link("ROADM-I", "ROADM-IV")
+        again = engine.plan("ROADM-I", "ROADM-IV", 10e9)
+        assert again == direct
+
+    def test_add_link_invalidates(self):
+        from repro.topo.graph import Link
+
+        inventory = make_inventory()
+        engine = RwaEngine(inventory)
+        before = engine.plan("ROADM-II", "ROADM-IV", 10e9)
+        assert before.hop_count == 2
+        inventory.graph.add_link(Link("ROADM-II", "ROADM-IV", length_km=70.0))
+        after = engine.plan("ROADM-II", "ROADM-IV", 10e9)
+        assert after.path == ["ROADM-II", "ROADM-IV"]
+
+    def test_no_path_outcome_is_cached(self):
+        inventory = make_inventory()
+        engine = RwaEngine(inventory)
+        blocked = [("ROADM-I", "ROADM-IV"), ("ROADM-I", "ROADM-III"),
+                   ("ROADM-I", "ROADM-II")]
+        for _ in range(2):
+            with pytest.raises(NoPathError):
+                engine.plan("ROADM-I", "ROADM-IV", 10e9, excluded_links=blocked)
+        assert engine.route_cache.hits == 1
+
+    def test_cache_can_be_disabled(self):
+        engine = RwaEngine(make_inventory(), route_cache_size=0)
+        assert engine.route_cache is None
+        plan = engine.plan("ROADM-I", "ROADM-IV", 10e9)
+        assert plan.path == ["ROADM-I", "ROADM-IV"]
+
+    def test_shared_cache_instance(self):
+        inventory = make_inventory()
+        shared = RouteCache(capacity=16)
+        a = RwaEngine(inventory, route_cache=shared)
+        b = RwaEngine(inventory, route_cache=shared)
+        a.plan("ROADM-I", "ROADM-IV", 10e9)
+        b.plan("ROADM-I", "ROADM-IV", 10e9)
+        assert shared.hits == 1

@@ -1,0 +1,95 @@
+"""Property test: cached RWA planning is indistinguishable from uncached.
+
+Drives random interleavings of ``cut_link`` / ``repair_link`` /
+``occupy`` / ``release`` / ``add_link`` against one shared inventory and
+checks, after every mutation, that a long-lived cache-enabled
+:class:`RwaEngine` produces exactly the plan a fresh uncached engine
+computes from scratch — same route, same per-segment wavelengths, same
+regen sites, or the same error class when the request is unservable.
+"""
+
+import random
+
+import pytest
+
+from repro.core.inventory import InventoryDatabase
+from repro.core.rwa import RwaEngine
+from repro.errors import NoPathError, WavelengthBlockedError
+from repro.sim.randomness import RandomStreams
+from repro.topo.generator import generate_backbone
+from repro.topo.graph import Link
+from repro.units import GBPS
+
+
+def plan_or_error(engine, source, dest):
+    """A comparable outcome: the RwaPlan, or the error class raised."""
+    try:
+        return engine.plan(source, dest, 10 * GBPS)
+    except (NoPathError, WavelengthBlockedError) as exc:
+        return type(exc)
+
+
+def random_mutation(rng, inventory, occupied):
+    """Apply one random state change; returns a tag for failure messages."""
+    graph = inventory.graph
+    plant = inventory.plant
+    links = graph.links
+    op = rng.choice(["cut", "repair", "occupy", "release", "add_link", "noop"])
+    if op == "cut":
+        link = rng.choice(links)
+        if not plant.dwdm_link(link.a, link.b).failed:
+            plant.cut_link(link.a, link.b)
+            return f"cut {link.key}"
+    elif op == "repair":
+        failed = plant.failed_links()
+        if failed:
+            a, b = rng.choice(failed)
+            plant.repair_link(a, b)
+            return f"repair {(a, b)}"
+    elif op == "occupy":
+        link = rng.choice(links)
+        dwdm = plant.dwdm_link(link.a, link.b)
+        channel = rng.randrange(plant.grid.size)
+        if not dwdm.failed and dwdm.owner_of(channel) is None:
+            dwdm.occupy(channel, "prop-test")
+            occupied.append((link.key, channel))
+            return f"occupy {link.key} ch{channel}"
+    elif op == "release":
+        if occupied:
+            key, channel = occupied.pop(rng.randrange(len(occupied)))
+            plant.dwdm_link(*key).release(channel, "prop-test")
+            return f"release {key} ch{channel}"
+    elif op == "add_link":
+        names = [node.name for node in graph.nodes]
+        a, b = rng.sample(names, 2)
+        if b not in graph.neighbors(a):
+            graph.add_link(Link(a, b, length_km=rng.uniform(50.0, 800.0)))
+            return f"add_link {(a, b)}"
+    return "noop"
+
+
+@pytest.mark.parametrize("seed", [7, 41, 1337])
+def test_cached_plans_match_uncached_under_interleavings(seed):
+    rng = random.Random(seed)
+    graph = generate_backbone(
+        RandomStreams(seed), node_count=10, plane_km=1500.0
+    )
+    inventory = InventoryDatabase(graph)
+    cached = RwaEngine(inventory)
+    names = sorted(node.name for node in graph.nodes)
+    occupied = []
+
+    for step in range(80):
+        tag = random_mutation(rng, inventory, occupied)
+        source, dest = rng.sample(names, 2)
+        fresh = RwaEngine(inventory, route_cache_size=0)
+        expected = plan_or_error(fresh, source, dest)
+        actual = plan_or_error(cached, source, dest)
+        assert actual == expected, (
+            f"seed={seed} step={step} after {tag}: "
+            f"{source}->{dest} cached={actual!r} uncached={expected!r}"
+        )
+
+    # The run must actually have exercised the cache, not just missed.
+    assert cached.route_cache.hits > 0
+    assert cached.route_cache.invalidations > 0

@@ -119,6 +119,42 @@ class TestRunControl:
         event.cancel()
         assert sim.pending == 1
 
+    def test_pending_drains_to_zero_after_run(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        sim.schedule(4.0, lambda: None).cancel()
+        assert sim.pending == 3
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_does_not_drift(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        event.cancel()  # already fired; must not double-count
+        assert sim.pending == 1
+
+    def test_pending_tracks_reschedules_from_callbacks(self):
+        sim = Simulator()
+
+        def chain(depth):
+            if depth:
+                sim.schedule(1.0, chain, depth - 1)
+
+        sim.schedule(1.0, chain, 3)
+        sim.run()
+        assert sim.pending == 0
+
 
 class TestCancellation:
     def test_canceled_event_does_not_fire(self):

@@ -12,7 +12,6 @@ from __future__ import annotations
 import statistics
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.provisioning import LightpathProvisioner
 from repro.facade import GriphonNetwork, build_griphon_testbed
 from repro.sim import Process
 from repro.units import gbps

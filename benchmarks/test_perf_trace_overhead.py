@@ -1,0 +1,111 @@
+"""Tracing overhead on the RWA fast path (PR 1 perf harness).
+
+The observability layer must be effectively free when disabled (the
+default) and cheap when enabled: a single flag check on the disabled
+path, one span allocation per plan on the enabled path.  This benchmark
+re-runs the PR 1 cold+warm plan sweep three ways — no tracer, disabled
+tracer, enabled tracer — and asserts the enabled run stays within 5%
+of the untraced baseline (the disabled run within noise).
+"""
+
+import gc
+import statistics
+import time
+
+from benchmarks.harness import print_rows
+from benchmarks.perf_report import RATE_BPS, build_graphs, demand_pairs
+from repro.core.inventory import InventoryDatabase
+from repro.core.rwa import RwaEngine
+from repro.errors import NoPathError, WavelengthBlockedError
+from repro.obs.trace import Tracer
+
+#: Sweeps per measurement: the first is cold (fresh cache), the rest
+#: warm — the same cold/warm mix the PR 1 harness exercises.
+SWEEP_ROUNDS = 3
+
+#: Paired repetitions.  Within one repetition all three modes run back
+#: to back (rotating order), and each repetition yields overhead
+#: *ratios* against its own baseline — so slow drift (thermal, noisy
+#: neighbours) cancels instead of polluting a min- or mean-of-times.
+REPEATS = 11
+
+#: The three wirings under test.
+MODES = (
+    ("baseline", lambda: None),
+    ("disabled", lambda: Tracer()),
+    ("enabled", lambda: Tracer(enabled=True)),
+)
+
+
+def _sweep_once(tracer) -> float:
+    """Seconds for one full cold+warm plan sweep over all topologies."""
+    total = 0.0
+    for graph in build_graphs().values():
+        inventory = InventoryDatabase(graph)
+        engine = RwaEngine(inventory, tracer=tracer)
+        pairs = demand_pairs(graph)
+        start = time.perf_counter()
+        for _ in range(SWEEP_ROUNDS):
+            for source, dest in pairs:
+                try:
+                    engine.plan(source, dest, RATE_BPS)
+                except (NoPathError, WavelengthBlockedError):
+                    pass
+        total += time.perf_counter() - start
+    return total
+
+
+def test_perf_tracing_overhead(benchmark):
+    def measure():
+        for _, make_tracer in MODES:  # untimed warm-up pass
+            _sweep_once(make_tracer())
+        ratios = {mode: [] for mode, _ in MODES if mode != "baseline"}
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for rep in range(REPEATS):
+                rotation = rep % len(MODES)
+                times = {}
+                for mode, make_tracer in (
+                    MODES[rotation:] + MODES[:rotation]
+                ):
+                    times[mode] = _sweep_once(make_tracer())
+                for mode in ratios:
+                    ratios[mode].append(times[mode] / times["baseline"])
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return {mode: statistics.median(r) for mode, r in ratios.items()}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [["mode", "overhead vs baseline (median)"]]
+    for mode, ratio in results.items():
+        rows.append([mode, f"{ratio - 1.0:+.1%}"])
+    print_rows("RWA plan sweep: tracing overhead", rows)
+    benchmark.extra_info.update(
+        {f"{mode}_ratio": ratio for mode, ratio in results.items()}
+    )
+
+    # Disabled (the default wiring) must be indistinguishable from no
+    # tracer at all; enabled must stay under the 5% acceptance bar.
+    assert results["disabled"] < 1.03, results
+    assert results["enabled"] < 1.05, results
+
+
+def test_traced_plans_match_untraced(benchmark):
+    """Tracing must observe, never change, the planning answers."""
+
+    def compare():
+        mismatches = 0
+        for graph in build_graphs().values():
+            inventory = InventoryDatabase(graph)
+            traced = RwaEngine(inventory, tracer=Tracer(enabled=True))
+            plain = RwaEngine(inventory)
+            for source, dest in demand_pairs(graph):
+                if traced.plan(source, dest, RATE_BPS) != plain.plan(
+                    source, dest, RATE_BPS
+                ):
+                    mismatches += 1
+        return mismatches
+
+    assert benchmark.pedantic(compare, rounds=1, iterations=1) == 0

@@ -16,7 +16,7 @@ from repro.metrics import (
     downtime_minutes_per_year,
     measured_availability,
 )
-from repro.units import DAY, HOUR, WEEK
+from repro.units import DAY, HOUR
 from repro.workload import FiberCutInjector
 
 HORIZON = 28 * DAY

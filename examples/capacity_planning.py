@@ -16,7 +16,7 @@ Run:
 
 from repro import build_griphon_backbone
 from repro.baselines import StaticProvisioningPlan, StoreForwardScheduler
-from repro.units import GBPS, HOUR, format_duration, gbps, terabytes, transfer_time
+from repro.units import GBPS, format_duration, gbps, terabytes, transfer_time
 from repro.workload import InteractiveDemand
 
 

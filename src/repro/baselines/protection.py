@@ -16,7 +16,7 @@ from repro.core.inventory import InventoryDatabase
 from repro.core.provisioning import LightpathProvisioner
 from repro.core.rwa import RwaEngine
 from repro.errors import ResourceError
-from repro.optical.lightpath import Lightpath, LightpathState
+from repro.optical.lightpath import Lightpath
 
 #: Tail-end switch time for 1+1 (detection + selector), in seconds.
 SWITCHOVER_TIME_S = 0.050

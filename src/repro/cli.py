@@ -4,21 +4,23 @@ Usage::
 
     python -m repro quickstart
     python -m repro table2 --iterations 10
+    python -m repro trace --json trace.json
     python -m repro restore
     python -m repro operator
 
-Each subcommand builds a fresh simulated network, runs one scenario, and
-prints a short report.
+(Installed as the ``griphon`` console script.)  Each subcommand builds a
+fresh simulated network, runs one scenario, and prints a short report.
 """
 
 from __future__ import annotations
 
 import argparse
 import statistics
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.gui import render_connections, render_network_view
 from repro.facade import build_griphon_testbed
+from repro.obs.trace import Span, Tracer
 from repro.sim.process import Process
 from repro.units import format_duration, gbps
 
@@ -67,6 +69,79 @@ def cmd_table2(args: argparse.Namespace) -> int:
             samples.append(net.sim.now - start)
         measured = statistics.fmean(samples)
         print(f"{hops:>4}  {_PAPER_TABLE2[hops]:>14.2f}  {measured:>17.2f}")
+    return 0
+
+
+#: Setup phases in workflow order, for the trace breakdown columns.
+_TRACE_PHASES = ("order", "fxc", "tune", "roadm", "equalize", "verify")
+
+
+def _print_span_tree(tracer: Tracer, span: Span, depth: int = 0) -> None:
+    label = span.tags.get("label")
+    suffix = f"  [{label}]" if label else ""
+    print(f"{'  ' * depth}{span.name:<{28 - 2 * depth}} "
+          f"{span.duration:>8.2f}s{suffix}")
+    for child in tracer.children_of(span):
+        _print_span_tree(tracer, child, depth + 1)
+
+
+def _setup_phase_durations(tracer: Tracer, setup: Span) -> Dict[str, float]:
+    """Per-phase seconds of one ``lightpath.setup`` span."""
+    phases: Dict[str, float] = {}
+    for child in tracer.children_of(setup):
+        phase = child.name.split(".", 1)[1]
+        phases[phase] = phases.get(phase, 0.0) + child.duration
+    return phases
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace the 12 Gbps example, then break Table 2 down by phase."""
+    # Part 1: the paper's 12 Gbps order (one 10G wavelength + two 1G
+    # ODU0 circuits) as a span tree.
+    net = build_griphon_testbed(seed=args.seed, tracing=True)
+    service = net.service_for("cli-demo")
+    conn = service.request_connection("PREMISES-A", "PREMISES-B", 12)
+    net.run()
+    tracer = net.tracer
+    root = next(s for s in tracer.roots() if s.name == "connection.request")
+    print(f"trace {root.trace_id}: 12 Gbps PREMISES-A <-> PREMISES-B "
+          f"({conn.kind.value}) in {format_duration(root.duration)}")
+    _print_span_tree(tracer, root)
+    if args.json:
+        tracer.dump(args.json)
+        print(f"\nwrote {len(tracer)} spans to {args.json}")
+
+    # Part 2: Table 2 with the setup time broken down by phase.
+    print("\nTable 2 phase breakdown, ROADM-I -> ROADM-IV (mean s over "
+          f"{args.iterations} runs):")
+    header = "hops  " + "".join(f"{p:>10}" for p in _TRACE_PHASES)
+    print(header + f"{'total':>10}{'paper':>10}")
+    for hops, exclusions in _TABLE2_EXCLUSIONS.items():
+        phase_sums = {phase: 0.0 for phase in _TRACE_PHASES}
+        totals = []
+        for i in range(args.iterations):
+            run_net = build_griphon_testbed(seed=args.seed + i, tracing=True)
+            plan = run_net.controller.rwa.plan(
+                "ROADM-I", "ROADM-IV", gbps(10), excluded_links=exclusions
+            )
+            lightpath = run_net.controller.provisioner.claim(plan)
+            Process(
+                run_net.sim,
+                run_net.controller.provisioner.setup_workflow(lightpath),
+            )
+            run_net.run()
+            setup = run_net.tracer.spans("lightpath.setup")[0]
+            for phase, secs in _setup_phase_durations(
+                run_net.tracer, setup
+            ).items():
+                phase_sums[phase] = phase_sums.get(phase, 0.0) + secs
+            totals.append(setup.duration)
+        means = {p: phase_sums[p] / args.iterations for p in phase_sums}
+        row = f"{hops:>4}  " + "".join(
+            f"{means.get(p, 0.0):>10.2f}" for p in _TRACE_PHASES
+        )
+        print(row + f"{statistics.fmean(totals):>10.2f}"
+              f"{_PAPER_TABLE2[hops]:>10.2f}")
     return 0
 
 
@@ -127,6 +202,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="measurements per path length (default 10)",
     )
     table2.set_defaults(func=cmd_table2)
+    trace = sub.add_parser(
+        "trace",
+        help="trace the 12G example and break Table 2 down by phase",
+    )
+    trace.add_argument(
+        "--iterations", type=int, default=5,
+        help="measurements per path length (default 5)",
+    )
+    trace.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also dump the 12G example's spans as JSON to PATH",
+    )
+    trace.set_defaults(func=cmd_trace)
     sub.add_parser(
         "restore", help="fiber cut + automated restoration demo"
     ).set_defaults(func=cmd_restore)

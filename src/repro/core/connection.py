@@ -119,6 +119,8 @@ class Connection:
     fxc_ports: List[tuple] = field(default_factory=list)
     #: OTN switch client ports held: (node, port).
     otn_client_ports: List[tuple] = field(default_factory=list)
+    #: Trace id of the order's root span (None when tracing is off).
+    trace_id: Optional[str] = None
 
     @property
     def setup_duration(self) -> Optional[float]:

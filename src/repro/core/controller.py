@@ -39,6 +39,8 @@ from repro.ems.nte_ctl import NteController
 from repro.ems.otn_ems import OtnEms
 from repro.ems.roadm_ems import RoadmEms
 from repro.iplayer.network import IpLayer
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Span, Tracer
 from repro.optical.impairments import ReachModel
 from repro.optical.lightpath import Lightpath, LightpathState
 from repro.otn.circuit import OduCircuitState
@@ -93,26 +95,56 @@ class GriphonController:
         k_paths: int = 4,
         assignment: str = "first-fit",
         auto_restore: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.inventory = inventory
         self.streams = streams
+        #: Connection-lifecycle tracing (off unless the tracer is enabled)
+        #: and the metrics registry every subsystem aggregates into.
+        self.tracer = tracer if tracer is not None else Tracer(sim.time_source())
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.latency = latency or LatencyModel(streams)
-        self.roadm_ems = RoadmEms(inventory.roadms, inventory.plant, self.latency)
-        self.fxc_ctl = FxcController(inventory.fxcs, self.latency)
-        self.nte_ctl = NteController(inventory.ntes, self.latency)
-        self.otn_ems = OtnEms(inventory.otn_switches, self.latency)
+        self.latency.bind_metrics(self.metrics)
+        self.roadm_ems = RoadmEms(
+            inventory.roadms, inventory.plant, self.latency, metrics=self.metrics
+        )
+        self.fxc_ctl = FxcController(
+            inventory.fxcs, self.latency, metrics=self.metrics
+        )
+        self.nte_ctl = NteController(
+            inventory.ntes, self.latency, metrics=self.metrics
+        )
+        self.otn_ems = OtnEms(
+            inventory.otn_switches, self.latency, metrics=self.metrics
+        )
         self.rwa = RwaEngine(
             inventory,
             reach=reach,
             k_paths=k_paths,
             assignment=assignment,
             streams=streams,
+            tracer=self.tracer,
         )
         self.provisioner = LightpathProvisioner(
-            inventory, self.roadm_ems, self.latency, parallel_ems=parallel_ems
+            inventory,
+            self.roadm_ems,
+            self.latency,
+            parallel_ems=parallel_ems,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
-        self.protection = SharedMeshProtection()
+        self.protection = SharedMeshProtection(metrics=self.metrics)
+        route_cache = self.rwa.route_cache
+        if route_cache is not None:
+            self.metrics.register_gauge(
+                "rwa.route_cache.hit_rate",
+                lambda: route_cache.stats()["hit_rate"],
+            )
+            self.metrics.register_gauge(
+                "rwa.route_cache.size", lambda: len(route_cache)
+            )
         self.grooming = GroomingEngine(
             inventory, self.protection, line_factory=self._create_otn_line
         )
@@ -138,6 +170,7 @@ class GriphonController:
         faster or jitter-free EMS steps.
         """
         self.latency = latency
+        self.latency.bind_metrics(self.metrics)
         self.roadm_ems._latency = latency
         self.fxc_ctl._latency = latency
         self.nte_ctl._latency = latency
@@ -187,26 +220,43 @@ class GriphonController:
             requested_at=self.sim.now,
         )
         self.connections[connection_id] = connection
+        # The root span covers the order end to end: it closes when the
+        # setup workflow completes (or immediately, for blocked orders).
+        span = self.tracer.span(
+            "connection.request",
+            connection=connection_id,
+            customer=customer,
+            rate_bps=rate_bps,
+        )
+        connection.trace_id = span.trace_id
         try:
-            self.admission.admit(customer, premises_a, premises_b, rate_bps)
+            with span.child("order.admit"):
+                self.admission.admit(customer, premises_a, premises_b, rate_bps)
         except AdmissionError as exc:
             connection.state = ConnectionState.BLOCKED
             connection.blocked_reason = str(exc)
+            span.set_tag("outcome", "blocked").finish()
+            self.metrics.inc("connection.blocked")
             self._notify("blocked", {"connection": connection, "reason": str(exc)})
             return connection
         try:
-            lightpaths, circuits, line_lightpaths = self._claim_components(
-                connection, kind
-            )
+            with span.child("order.claim") as claim_span:
+                lightpaths, circuits, line_lightpaths = self._claim_components(
+                    connection, kind, parent_span=claim_span
+                )
         except GriphonError as exc:
             self.admission.release(customer, rate_bps)
             connection.state = ConnectionState.BLOCKED
             connection.blocked_reason = str(exc)
+            span.set_tag("outcome", "blocked").finish()
+            self.metrics.inc("connection.blocked")
             self._notify("blocked", {"connection": connection, "reason": str(exc)})
             return connection
         Process(
             self.sim,
-            self._setup_workflow(connection, lightpaths, circuits, line_lightpaths),
+            self._setup_workflow(
+                connection, lightpaths, circuits, line_lightpaths, span
+            ),
             label=f"setup:{connection_id}",
         )
         return connection
@@ -321,41 +371,69 @@ class GriphonController:
                 "wavelength connections"
             )
         old = self.inventory.lightpaths[connection.lightpath_ids[0]]
-        plan = self.rwa.plan(
-            old.source,
-            old.destination,
-            old.rate_bps,
-            excluded_links=exclude_links,
-            avoid_srlgs_of=old.path,
+        span = self.tracer.span(
+            "bridge_and_roll",
+            trace_id=connection.trace_id,
+            connection=connection_id,
         )
-        bridge = self.provisioner.claim(plan)
+        try:
+            with span.child("roll.plan") as plan_span:
+                plan = self.rwa.plan(
+                    old.source,
+                    old.destination,
+                    old.rate_bps,
+                    excluded_links=exclude_links,
+                    avoid_srlgs_of=old.path,
+                    parent_span=plan_span,
+                )
+            with span.child("roll.claim"):
+                bridge = self.provisioner.claim(plan)
+        except GriphonError:
+            span.set_tag("outcome", "blocked").finish()
+            self.metrics.inc("bridge_and_roll.blocked")
+            raise
         return Process(
             self.sim,
-            self._bridge_and_roll_workflow(connection, old, bridge, on_done),
+            self._bridge_and_roll_workflow(connection, old, bridge, on_done, span),
             label=f"bridge-roll:{connection_id}",
         )
 
     # -- workflows -------------------------------------------------------------------
 
-    def _setup_workflow(self, connection, lightpaths, circuits, line_lightpaths):
+    def _setup_workflow(
+        self, connection, lightpaths, circuits, line_lightpaths, span=None
+    ):
+        if span is None:
+            span = self.tracer.span(
+                "connection.request", connection=connection.connection_id
+            )
         connection.transition(ConnectionState.SETTING_UP)
-        for _ in connection.evc_ids:
-            yield self.latency.sample("controller.order")
-            yield self.latency.sample("ip.evc")
-        # Wavelengths created to carry new OTN lines come up first (the
-        # circuits ride them), without customer-side FXC steps.
-        for lightpath in line_lightpaths:
-            yield from self.provisioner.setup_workflow(lightpath, include_fxc=False)
-        for lightpath in lightpaths:
-            yield from self.provisioner.setup_workflow(lightpath)
-        for circuit in circuits:
-            circuit.transition(OduCircuitState.SETTING_UP)
-            circuit.setup_started_at = self.sim.now
-            yield self.latency.sample("controller.order")
-            for _ in circuit.line_ids:
-                yield self.latency.sample("otn.crossconnect")
-            circuit.transition(OduCircuitState.UP)
-            circuit.up_at = self.sim.now
+        with span.child("connection.setup") as setup_span:
+            for _ in connection.evc_ids:
+                with setup_span.child("ip.evc"):
+                    yield self.latency.sample("controller.order")
+                    yield self.latency.sample("ip.evc")
+            # Wavelengths created to carry new OTN lines come up first (the
+            # circuits ride them), without customer-side FXC steps.
+            for lightpath in line_lightpaths:
+                yield from self.provisioner.setup_workflow(
+                    lightpath, include_fxc=False, parent_span=setup_span
+                )
+            for lightpath in lightpaths:
+                yield from self.provisioner.setup_workflow(
+                    lightpath, parent_span=setup_span
+                )
+            for circuit in circuits:
+                with setup_span.child(
+                    "otn.circuit.setup", circuit=circuit.circuit_id
+                ):
+                    circuit.transition(OduCircuitState.SETTING_UP)
+                    circuit.setup_started_at = self.sim.now
+                    yield self.latency.sample("controller.order")
+                    for _ in circuit.line_ids:
+                        yield self.latency.sample("otn.crossconnect")
+                    circuit.transition(OduCircuitState.UP)
+                    circuit.up_at = self.sim.now
         connection.transition(ConnectionState.UP)
         connection.up_at = self.sim.now
         failed_setup = any(
@@ -364,13 +442,24 @@ class GriphonController:
             if lp_id in self.inventory.lightpaths
         )
         if failed_setup:
+            span.set_tag("outcome", "failed-during-setup").finish()
             self._fail_connection_component(connection)
             if self.auto_restore:
                 self._attempt_restoration(connection)
             return
+        span.set_tag("outcome", "up").finish()
+        self.metrics.inc("connection.up")
+        if connection.setup_duration is not None:
+            self.metrics.observe("connection.setup_s", connection.setup_duration)
         self._notify("up", {"connection": connection})
 
     def _teardown_workflow(self, connection):
+        span = self.tracer.span(
+            "connection.teardown",
+            trace_id=connection.trace_id,
+            connection=connection.connection_id,
+        )
+        started = self.sim.now
         for evc_id in list(connection.evc_ids):
             yield self.latency.sample("ip.evc.remove")
             if self.ip_layer is not None and any(
@@ -392,7 +481,9 @@ class GriphonController:
             lightpath = self.inventory.lightpaths.get(lightpath_id)
             if lightpath is None:
                 continue
-            yield from self.provisioner.teardown_workflow(lightpath)
+            yield from self.provisioner.teardown_workflow(
+                lightpath, parent_span=span
+            )
             self._lightpath_conn.pop(lightpath_id, None)
         if connection.nte_interfaces:
             yield self.latency.sample("nte.release")
@@ -404,12 +495,21 @@ class GriphonController:
         connection.transition(ConnectionState.RELEASED)
         connection.released_at = self.sim.now
         self.admission.release(connection.customer, connection.rate_bps)
+        span.finish()
+        self.metrics.inc("connection.released")
+        self.metrics.observe("connection.teardown_s", self.sim.now - started)
         self._notify("released", {"connection": connection})
 
-    def _bridge_and_roll_workflow(self, connection, old, bridge, on_done):
+    def _bridge_and_roll_workflow(self, connection, old, bridge, on_done, span=None):
+        if span is None:
+            span = self.tracer.span(
+                "bridge_and_roll", connection=connection.connection_id
+            )
         bridge_started = self.sim.now
         # Bridge: bring the new path up while the old one carries traffic.
-        yield from self.provisioner.setup_workflow(bridge, include_fxc=False)
+        yield from self.provisioner.setup_workflow(
+            bridge, include_fxc=False, parent_span=span
+        )
         bridge_s = self.sim.now - bridge_started
         # The customer may have torn the connection down (or a failure
         # may have taken it) while the bridge was being built; in that
@@ -420,10 +520,12 @@ class GriphonController:
         ):
             if bridge.state is LightpathState.UP:
                 yield from self.provisioner.teardown_workflow(
-                    bridge, include_fxc=False
+                    bridge, include_fxc=False, parent_span=span
                 )
             elif bridge.lightpath_id in self.inventory.lightpaths:
                 self.provisioner.release(bridge)
+            span.set_tag("outcome", "aborted").finish()
+            self.metrics.inc("bridge_and_roll.aborted")
             self._notify(
                 "bridge-and-roll-aborted",
                 {"connection_id": connection.connection_id},
@@ -431,15 +533,21 @@ class GriphonController:
             return
         # Roll: steer the FXCs to the new transponders.  Traffic takes a
         # brief hit while the client signal moves.
-        connection.begin_outage(self.sim.now)
-        yield ROLL_HIT_S
-        connection.end_outage(self.sim.now)
+        with span.child("roll.hit"):
+            connection.begin_outage(self.sim.now)
+            yield ROLL_HIT_S
+            connection.end_outage(self.sim.now)
         connection.lightpath_ids = [bridge.lightpath_id]
         self._lightpath_conn.pop(old.lightpath_id, None)
         self._lightpath_conn[bridge.lightpath_id] = connection.connection_id
         self._relabel_steering(old, bridge)
         # Release the old path in the background.
-        yield from self.provisioner.teardown_workflow(old, include_fxc=False)
+        yield from self.provisioner.teardown_workflow(
+            old, include_fxc=False, parent_span=span
+        )
+        span.set_tag("outcome", "completed").finish()
+        self.metrics.inc("bridge_and_roll.completed")
+        self.metrics.observe("bridge_and_roll.bridge_s", bridge_s)
         summary = {
             "connection_id": connection.connection_id,
             "bridge_s": bridge_s,
@@ -452,7 +560,7 @@ class GriphonController:
 
     # -- order decomposition --------------------------------------------------------
 
-    def _claim_components(self, connection, kind):
+    def _claim_components(self, connection, kind, parent_span: Optional[Span] = None):
         """Claim all resources for an order; returns its components."""
         pop_a = self.inventory.pop_of(connection.premises_a)
         pop_b = self.inventory.pop_of(connection.premises_b)
@@ -502,7 +610,7 @@ class GriphonController:
         claimed_nte: List[Tuple[str, int]] = []
         try:
             for rate in waves:
-                plan = self.rwa.plan(pop_a, pop_b, rate)
+                plan = self.rwa.plan(pop_a, pop_b, rate, parent_span=parent_span)
                 lightpath = self.provisioner.claim(plan)
                 lightpaths.append(lightpath)
                 self._lightpath_conn[lightpath.lightpath_id] = owner
@@ -685,6 +793,8 @@ class GriphonController:
 
     def _handle_link_failure(self, link_key, affected_owners):
         """Fiber-cut handler: localize, fail, and (optionally) restore."""
+        self.tracer.event("failure.fiber_cut", link=f"{link_key[0]}={link_key[1]}")
+        self.metrics.inc("failure.fiber_cut")
         self._notify("fiber-cut", {"link": link_key, "owners": set(affected_owners)})
         # IP layer: the adjacency riding this span fails; the IGP
         # reconverges and EVCs reroute in a couple hundred milliseconds.
@@ -787,6 +897,16 @@ class GriphonController:
                 continue  # no shared capacity left; stays failed
             circuit.restored_at = self.sim.now + switch_time
             conn_id = self._circuit_connection(circuit_id)
+            trace_id = (
+                self.connections[conn_id].trace_id if conn_id is not None else None
+            )
+            self.tracer.record(
+                "otn.mesh_restore",
+                start=self.sim.now,
+                end=self.sim.now + switch_time,
+                trace_id=trace_id,
+                circuit=circuit_id,
+            )
             if conn_id is not None:
                 connection = self.connection(conn_id)
                 connection.begin_outage(self.sim.now)
@@ -811,15 +931,25 @@ class GriphonController:
         old = self.inventory.lightpaths.get(old_id)
         if old is None or old.state is not LightpathState.FAILED:
             return
-        failed_links = set(self.inventory.plant.failed_links())
+        span = self.tracer.span(
+            "restoration",
+            trace_id=connection.trace_id,
+            connection=connection.connection_id,
+        )
+        with span.child("restoration.localize"):
+            failed_links = set(self.inventory.plant.failed_links())
         try:
-            plan = self.rwa.plan(
-                old.source,
-                old.destination,
-                old.rate_bps,
-                excluded_links=failed_links,
-            )
+            with span.child("restoration.plan") as plan_span:
+                plan = self.rwa.plan(
+                    old.source,
+                    old.destination,
+                    old.rate_bps,
+                    excluded_links=failed_links,
+                    parent_span=plan_span,
+                )
         except GriphonError as exc:
+            span.set_tag("outcome", "blocked").finish()
+            self.metrics.inc("restoration.blocked")
             self._notify(
                 "restoration-blocked",
                 {"connection": connection, "reason": str(exc)},
@@ -829,8 +959,11 @@ class GriphonController:
         self.provisioner.release(old)
         self._lightpath_conn.pop(old_id, None)
         try:
-            replacement = self.provisioner.claim(plan)
+            with span.child("restoration.claim"):
+                replacement = self.provisioner.claim(plan)
         except GriphonError as exc:
+            span.set_tag("outcome", "blocked").finish()
+            self.metrics.inc("restoration.blocked")
             self._notify(
                 "restoration-blocked",
                 {"connection": connection, "reason": str(exc)},
@@ -842,23 +975,35 @@ class GriphonController:
         self._relabel_steering(old, replacement)
         Process(
             self.sim,
-            self._restoration_workflow(connection, replacement),
+            self._restoration_workflow(connection, replacement, span),
             label=f"restore:{connection.connection_id}",
         )
 
-    def _restoration_workflow(self, connection, replacement):
-        yield from self.provisioner.setup_workflow(replacement, include_fxc=False)
+    def _restoration_workflow(self, connection, replacement, span=None):
+        if span is None:
+            span = self.tracer.span(
+                "restoration", connection=connection.connection_id
+            )
+        started = self.sim.now
+        yield from self.provisioner.setup_workflow(
+            replacement, include_fxc=False, parent_span=span
+        )
         if replacement.state is LightpathState.FAILED:
             # Another cut landed while we were restoring; try again.
+            span.set_tag("outcome", "re-failed").finish()
             connection.transition(ConnectionState.FAILED)
             self._attempt_restoration(connection)
             return
         connection.transition(ConnectionState.UP)
         connection.end_outage(self.sim.now)
+        span.set_tag("outcome", "restored").finish()
+        self.metrics.inc("restoration.success")
+        self.metrics.observe("restoration.reprovision_s", self.sim.now - started)
         self._notify("restored", {"connection": connection})
 
     # -- misc -----------------------------------------------------------------------
 
     def _notify(self, event: str, payload: dict) -> None:
+        self.metrics.inc(f"events.{event}")
         for observer in self.observers:
             observer(event, payload)

@@ -19,7 +19,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.core.inventory import InventoryDatabase
 from repro.errors import CapacityExceededError, NoPathError, ResourceError
-from repro.otn.circuit import OduCircuit, OduCircuitState
+from repro.otn.circuit import OduCircuit
 from repro.otn.line import OtnLine
 from repro.otn.mesh_restoration import SharedMeshProtection
 from repro.units import OduLevel

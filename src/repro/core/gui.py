@@ -58,13 +58,23 @@ def render_interfaces(service: BodService) -> str:
 
 
 def render_fault_panel(service: BodService) -> str:
-    """The fault-management pane: one line per impacted connection."""
+    """The fault-management pane: one line per impacted connection.
+
+    Renders from the typed :class:`~repro.core.service.FaultReport`
+    records; when tracing is on, each line carries the trace id so an
+    operator can pull the matching spans.
+    """
     impacted = service.impacted_connections()
     if not impacted:
         return "All connections in service."
-    return "\n".join(
-        service.fault_report(conn.connection_id) for conn in impacted
-    )
+    lines = []
+    for conn in impacted:
+        report = service.fault_report(conn.connection_id)
+        line = str(report)
+        if report.trace_id is not None:
+            line += f" (trace {report.trace_id})"
+        lines.append(line)
+    return "\n".join(lines)
 
 
 def render_reservations(book, customer: str = None) -> str:

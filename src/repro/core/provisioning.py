@@ -26,6 +26,8 @@ from repro.core.rwa import RwaPlan
 from repro.errors import GriphonError, TransponderUnavailableError
 from repro.ems.latency import LatencyModel
 from repro.ems.roadm_ems import RoadmEms
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Span, Tracer
 from repro.optical.lightpath import Lightpath, LightpathState
 
 #: A timed EMS/optical step: (stage, label, duration_seconds).  Steps in
@@ -43,11 +45,15 @@ class LightpathProvisioner:
         roadm_ems: RoadmEms,
         latency: LatencyModel,
         parallel_ems: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._inventory = inventory
         self._roadm_ems = roadm_ems
         self._latency = latency
         self._parallel_ems = parallel_ems
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._metrics = metrics
 
     # -- phase 1: claim -----------------------------------------------------------
 
@@ -223,38 +229,72 @@ class LightpathProvisioner:
         lightpath: Lightpath,
         include_fxc: bool = True,
         on_up: Optional[Callable[[Lightpath], None]] = None,
+        parent_span: Optional[Span] = None,
     ) -> Generator[float, None, Lightpath]:
-        """A generator bringing the lightpath up step by timed step."""
-        lightpath.transition(LightpathState.SETTING_UP)
-        steps = self.setup_steps(lightpath, include_fxc)
-        for duration in self._stage_durations(steps):
-            yield duration
-        lightpath.transition(LightpathState.UP)
-        # A fiber along the route may have been cut while the EMS steps
-        # were running; the end-to-end verification catches that.
-        if not self._inventory.plant.path_is_up(lightpath.path):
-            lightpath.transition(LightpathState.FAILED)
+        """A generator bringing the lightpath up step by timed step.
+
+        When tracing is enabled, emits a ``lightpath.setup`` span whose
+        ``ems.<stage>`` children cover every timed step — by
+        construction their durations sum to the workflow's end-to-end
+        duration (the Table 2 per-phase breakdown).
+        """
+        with self._tracer.span(
+            "lightpath.setup",
+            parent=parent_span,
+            lightpath=lightpath.lightpath_id,
+            hops=len(lightpath.path) - 1,
+        ) as span:
+            lightpath.transition(LightpathState.SETTING_UP)
+            steps = self.setup_steps(lightpath, include_fxc)
+            total = 0.0
+            for stage, label, duration in self._stage_spans(steps):
+                with span.child(f"ems.{stage}", label=label):
+                    yield duration
+                total += duration
+            lightpath.transition(LightpathState.UP)
+            # A fiber along the route may have been cut while the EMS
+            # steps were running; end-to-end verification catches that.
+            if not self._inventory.plant.path_is_up(lightpath.path):
+                lightpath.transition(LightpathState.FAILED)
+                span.set_tag("outcome", "failed")
+                if self._metrics is not None:
+                    self._metrics.inc("lightpath.setup_failed")
+                return lightpath
+            span.set_tag("outcome", "up")
+            if self._metrics is not None:
+                self._metrics.observe("lightpath.setup_s", total)
+            if on_up is not None:
+                on_up(lightpath)
             return lightpath
-        if on_up is not None:
-            on_up(lightpath)
-        return lightpath
 
     def teardown_workflow(
         self,
         lightpath: Lightpath,
         include_fxc: bool = True,
         on_released: Optional[Callable[[Lightpath], None]] = None,
+        parent_span: Optional[Span] = None,
     ) -> Generator[float, None, Lightpath]:
         """A generator tearing the lightpath down, then freeing resources."""
-        lightpath.transition(LightpathState.TEARING_DOWN)
-        steps = self.teardown_steps(lightpath, include_fxc)
-        for duration in self._stage_durations(steps):
-            yield duration
-        lightpath.transition(LightpathState.RELEASED)
-        self.release(lightpath)
-        if on_released is not None:
-            on_released(lightpath)
-        return lightpath
+        with self._tracer.span(
+            "lightpath.teardown",
+            parent=parent_span,
+            lightpath=lightpath.lightpath_id,
+            hops=len(lightpath.path) - 1,
+        ) as span:
+            lightpath.transition(LightpathState.TEARING_DOWN)
+            steps = self.teardown_steps(lightpath, include_fxc)
+            total = 0.0
+            for stage, label, duration in self._stage_spans(steps):
+                with span.child(f"ems.{stage}", label=label):
+                    yield duration
+                total += duration
+            lightpath.transition(LightpathState.RELEASED)
+            self.release(lightpath)
+            if self._metrics is not None:
+                self._metrics.observe("lightpath.teardown_s", total)
+            if on_released is not None:
+                on_released(lightpath)
+            return lightpath
 
     # -- claim internals --------------------------------------------------------
 
@@ -369,19 +409,33 @@ class LightpathProvisioner:
             f"{'into' if incoming else 'out of'} {node}"
         )
 
-    def _stage_durations(self, steps: List[Step]) -> List[float]:
-        """Durations to yield, honoring the sequential/parallel EMS mode."""
+    def _stage_spans(self, steps: List[Step]) -> List[Step]:
+        """The timed intervals a workflow walks through, one per span.
+
+        Sequential EMS yields every step as-is; the parallel-EMS
+        ablation merges consecutive same-stage steps into one interval
+        (duration = stage max), labeled with the merged step count.
+        """
         if not self._parallel_ems:
-            return [duration for _, _, duration in steps]
-        durations: List[float] = []
+            return list(steps)
+        merged: List[Step] = []
         current_stage: Optional[str] = None
         stage_max = 0.0
+        count = 0
         for stage, _, duration in steps:
             if stage != current_stage and current_stage is not None:
-                durations.append(stage_max)
+                merged.append(
+                    (current_stage, f"{count} ops (parallel)", stage_max)
+                )
                 stage_max = 0.0
+                count = 0
             current_stage = stage
             stage_max = max(stage_max, duration)
+            count += 1
         if current_stage is not None:
-            durations.append(stage_max)
-        return durations
+            merged.append((current_stage, f"{count} ops (parallel)", stage_max))
+        return merged
+
+    def _stage_durations(self, steps: List[Step]) -> List[float]:
+        """Durations to yield, honoring the sequential/parallel EMS mode."""
+        return [duration for _, _, duration in self._stage_spans(steps)]

@@ -13,7 +13,7 @@ when demand is merely bursty.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.controller import GriphonController
 from repro.errors import ConfigurationError

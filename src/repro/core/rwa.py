@@ -19,7 +19,7 @@ workflow executes it step by step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import (
@@ -30,6 +30,7 @@ from repro.errors import (
 )
 from repro.core.inventory import InventoryDatabase
 from repro.core.routecache import RouteCache, make_route_key
+from repro.obs.trace import Span, Tracer
 from repro.optical.impairments import ReachModel
 from repro.optical.lightpath import Segment
 from repro.sim.randomness import RandomStreams
@@ -69,6 +70,7 @@ class RwaEngine:
         streams: Optional[RandomStreams] = None,
         route_cache: Optional[RouteCache] = None,
         route_cache_size: int = 1024,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if assignment not in ("first-fit", "random"):
             raise ConfigurationError(
@@ -89,6 +91,7 @@ class RwaEngine:
             self._cache = RouteCache(route_cache_size)
         else:
             self._cache = None
+        self._tracer = tracer
 
     @property
     def route_cache(self) -> Optional[RouteCache]:
@@ -103,6 +106,7 @@ class RwaEngine:
         excluded_links: Iterable[Tuple[str, str]] = (),
         excluded_nodes: Iterable[str] = (),
         avoid_srlgs_of: Optional[List[str]] = None,
+        parent_span: Optional[Span] = None,
     ) -> RwaPlan:
         """Compute a route and wavelength assignment.
 
@@ -115,12 +119,43 @@ class RwaEngine:
             excluded_nodes: Intermediate nodes to avoid.
             avoid_srlgs_of: When set to a node path, the plan must also be
                 SRLG-disjoint from it (the bridge-and-roll constraint).
+            parent_span: Tracing span to nest the ``rwa.plan`` span
+                under (ignored unless the engine's tracer is enabled).
 
         Raises:
             NoPathError: if no candidate route survives the exclusions.
             WavelengthBlockedError: if routes exist but no wavelength (or
                 regen segmentation) satisfies continuity on any of them.
         """
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            # Hot path: one attribute check when tracing is off.
+            return self._plan(
+                source, destination, rate_bps, excluded_links,
+                excluded_nodes, avoid_srlgs_of,
+            )
+        with tracer.span(
+            "rwa.plan", parent=parent_span, source=source,
+            destination=destination,
+        ) as span:
+            result = self._plan(
+                source, destination, rate_bps, excluded_links,
+                excluded_nodes, avoid_srlgs_of,
+            )
+            span.set_tag("hops", result.hop_count)
+            span.set_tag("regens", len(result.regen_sites))
+            return result
+
+    def _plan(
+        self,
+        source: str,
+        destination: str,
+        rate_bps: float,
+        excluded_links: Iterable[Tuple[str, str]] = (),
+        excluded_nodes: Iterable[str] = (),
+        avoid_srlgs_of: Optional[List[str]] = None,
+    ) -> RwaPlan:
+        """The untraced planning pipeline behind :meth:`plan`."""
         if source == destination:
             raise ConfigurationError("source and destination must differ")
         graph = self._inventory.graph

@@ -5,16 +5,109 @@ gets a handle scoped to its own connections, with methods for connection
 management (set up / tear down on demand) and simple fault visibility.
 The complexity of the GRIPhoN network — access pipes, carrier equipment,
 network layers, the controller — stays hidden (paper §2.2).
+
+The fault and usage views return typed records (:class:`FaultReport`,
+:class:`Usage`) rather than bare strings and dicts; both stay
+compatible with their old shapes (``str(report)`` is the GUI line,
+``usage["connections"]`` still indexes).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.connection import Connection, ConnectionKind, ConnectionState
 from repro.core.controller import GriphonController
 from repro.errors import AdmissionError, ResourceError
 from repro.units import GBPS
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Structured fault status for one connection (GUI detail pane).
+
+    Attributes:
+        connection_id: The connection reported on.
+        state: Its customer-visible state.
+        localized_links: Failed fiber links the outage was localized to
+            (empty when in service or when localization found nothing).
+        action: What the carrier is doing about it (e.g. ``"restoration
+            in progress"``); empty when nothing is wrong.
+        trace_id: The connection's trace id, for correlating this report
+            with the tracer's spans (None when tracing is off).
+        blocked_reason: Why the order was blocked, for BLOCKED records.
+    """
+
+    connection_id: str
+    state: ConnectionState
+    localized_links: Tuple[Tuple[str, str], ...] = ()
+    action: str = ""
+    trace_id: Optional[str] = None
+    blocked_reason: str = ""
+
+    def __str__(self) -> str:
+        if self.state is ConnectionState.UP:
+            return f"{self.connection_id}: in service"
+        if self.state is ConnectionState.BLOCKED:
+            return f"{self.connection_id}: blocked - {self.blocked_reason}"
+        if self.state in (ConnectionState.FAILED, ConnectionState.RESTORING):
+            where = (
+                ", ".join(f"{a}={b}" for a, b in self.localized_links)
+                or "unknown location"
+            )
+            return (
+                f"{self.connection_id}: outage localized to [{where}]; "
+                f"{self.action}"
+            )
+        return f"{self.connection_id}: {self.state.value}"
+
+    def __contains__(self, item: str) -> bool:
+        # Callers historically substring-matched the one-line report;
+        # keep ``"outage" in report`` working on the typed record.
+        return item in str(self)
+
+
+@dataclass(frozen=True)
+class UsageLimits:
+    """A customer's quota ceilings, in GUI units (Gbps)."""
+
+    max_connections: int
+    max_total_rate_gbps: float
+
+
+@dataclass(frozen=True)
+class Usage(Mapping):
+    """A customer's current quota usage.
+
+    Indexes like the dict it replaced (``usage["connections"]``,
+    ``usage["rate_bps"]``) and additionally exposes the GUI-unit rate
+    and the quota ceilings as typed fields.
+    """
+
+    connections: int
+    committed_gbps: float
+    limits: UsageLimits
+
+    _KEYS = ("connections", "committed_gbps", "rate_bps", "limits")
+
+    @property
+    def rate_bps(self) -> float:
+        """The committed rate in bps (the admission ledger's unit)."""
+        return self.committed_gbps * GBPS
+
+    def __getitem__(self, key: str):
+        if key not in self._KEYS:
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._KEYS)
+
+    def __len__(self) -> int:
+        return len(self._KEYS)
 
 
 class BodService:
@@ -41,7 +134,22 @@ class BodService:
             rate_gbps: Committed rate in Gbps (the GUI's unit).
             kind: Force a wavelength or sub-wavelength realization;
                 ``None`` lets the controller decompose the rate.
+
+        Raises:
+            AdmissionError: for a rate that is not a positive, finite
+                number of Gbps (checked here, in the GUI's unit, so the
+                customer never sees a bps-denominated internal error).
         """
+        if not isinstance(rate_gbps, (int, float)) or isinstance(
+            rate_gbps, bool
+        ):
+            raise AdmissionError(
+                f"rate_gbps must be a number, got {type(rate_gbps).__name__}"
+            )
+        if not math.isfinite(rate_gbps) or rate_gbps <= 0:
+            raise AdmissionError(
+                f"rate_gbps must be positive and finite, got {rate_gbps!r}"
+            )
         return self._controller.request_connection(
             self.customer, premises_a, premises_b, rate_gbps * GBPS, kind
         )
@@ -80,27 +188,47 @@ class BodService:
         )
         return [c for c in self.connections() if c.state in impacted_states]
 
-    def fault_report(self, connection_id: str) -> str:
-        """A one-line fault status for a connection (GUI detail pane)."""
+    def fault_report(self, connection_id: str) -> FaultReport:
+        """The fault status of a connection, as a typed record.
+
+        ``str(report)`` is the GUI's one-line detail pane.
+        """
         connection = self._own(connection_id)
-        if connection.state is ConnectionState.UP:
-            return f"{connection_id}: in service"
-        if connection.state is ConnectionState.BLOCKED:
-            return f"{connection_id}: blocked - {connection.blocked_reason}"
-        if connection.state in (ConnectionState.FAILED, ConnectionState.RESTORING):
-            failed = self._controller.inventory.plant.failed_links()
-            where = ", ".join(f"{a}={b}" for a, b in failed) or "unknown location"
-            verb = (
+        localized: Tuple[Tuple[str, str], ...] = ()
+        action = ""
+        if connection.state in (
+            ConnectionState.FAILED,
+            ConnectionState.RESTORING,
+        ):
+            localized = tuple(
+                self._controller.inventory.plant.failed_links()
+            )
+            action = (
                 "restoration in progress"
                 if connection.state is ConnectionState.RESTORING
                 else "awaiting restoration"
             )
-            return f"{connection_id}: outage localized to [{where}]; {verb}"
-        return f"{connection_id}: {connection.state.value}"
+        return FaultReport(
+            connection_id=connection.connection_id,
+            state=connection.state,
+            localized_links=localized,
+            action=action,
+            trace_id=connection.trace_id,
+            blocked_reason=connection.blocked_reason,
+        )
 
-    def usage(self) -> dict:
+    def usage(self) -> Usage:
         """Current quota usage (connections and committed rate)."""
-        return self._controller.admission.usage(self.customer)
+        raw = self._controller.admission.usage(self.customer)
+        profile = self._controller.admission.profile(self.customer)
+        return Usage(
+            connections=int(raw["connections"]),
+            committed_gbps=raw["rate_bps"] / GBPS,
+            limits=UsageLimits(
+                max_connections=profile.max_connections,
+                max_total_rate_gbps=profile.max_total_rate_bps / GBPS,
+            ),
+        )
 
     # -- internals ------------------------------------------------------------
 

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import EquipmentError
 from repro.ems.latency import LatencyModel
+from repro.obs.registry import MetricsRegistry
 from repro.optical.fxc import FiberCrossConnect
 
 
@@ -13,10 +14,18 @@ class FxcController:
     """Manages the fiber cross-connects at all sites."""
 
     def __init__(
-        self, fxcs: Dict[str, FiberCrossConnect], latency: LatencyModel
+        self,
+        fxcs: Dict[str, FiberCrossConnect],
+        latency: LatencyModel,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._fxcs = dict(fxcs)
         self._latency = latency
+        self._metrics = metrics
+
+    def _count(self, op: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(f"ems.fxc.{op}")
 
     def fxc(self, site: str) -> FiberCrossConnect:
         """Look up the FXC at ``site``.
@@ -32,6 +41,7 @@ class FxcController:
     def connect(self, site: str, port_a: int, port_b: int, owner: str) -> float:
         """Cross-connect two ports; returns the step duration."""
         self.fxc(site).connect(port_a, port_b, owner)
+        self._count("connect")
         return self._latency.sample("fxc.connect")
 
     def connect_labeled(self, site: str, label_a: str, label_b: str, owner: str) -> float:
@@ -42,4 +52,5 @@ class FxcController:
     def disconnect(self, site: str, port: int, owner: str) -> float:
         """Remove the cross-connect at ``port``; returns the duration."""
         self.fxc(site).disconnect(port, owner)
+        self._count("disconnect")
         return self._latency.sample("fxc.disconnect")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
 from repro.sim.randomness import RandomStreams
 
 #: Mean duration, in seconds, of each management/optical step.
@@ -82,6 +83,17 @@ class LatencyModel:
             self._means.update(means)
         self._cv = cv
         self._speedup = speedup
+        self._metrics: Optional[MetricsRegistry] = None
+
+    def bind_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
+        """Record every sampled step duration into ``metrics``.
+
+        Each draw lands in histogram ``step.<name>``, giving the
+        per-step duration distributions the Table 2 analysis needs
+        without instrumenting every call site.  Pass ``None`` to stop
+        recording.
+        """
+        self._metrics = metrics
 
     def mean(self, step: str) -> float:
         """The configured mean for ``step`` (after speedup).
@@ -106,6 +118,8 @@ class LatencyModel:
         duration = self._streams.lognormal(
             f"latency:{step}", self.mean(step), self._cv
         )
+        if self._metrics is not None:
+            self._metrics.observe(f"step.{step}", duration + extra)
         return duration + extra
 
     def known_steps(self) -> Dict[str, float]:

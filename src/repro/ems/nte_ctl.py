@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import EquipmentError
 from repro.ems.latency import LatencyModel
+from repro.obs.registry import MetricsRegistry
 from repro.optical.nte import NetworkTerminatingEquipment
 
 
@@ -16,9 +17,15 @@ class NteController:
         self,
         ntes: Dict[str, NetworkTerminatingEquipment],
         latency: LatencyModel,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._ntes = dict(ntes)
         self._latency = latency
+        self._metrics = metrics
+
+    def _count(self, op: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(f"ems.nte.{op}")
 
     def nte(self, premises: str) -> NetworkTerminatingEquipment:
         """Look up the NTE at ``premises``.
@@ -40,9 +47,11 @@ class NteController:
             ``(interface_index, duration_seconds)``.
         """
         index = self.nte(premises).claim_interface(owner, channelized)
+        self._count("configure")
         return index, self._latency.sample("nte.configure")
 
     def release_interface(self, premises: str, index: int, owner: str) -> float:
         """Release a customer interface; returns the step duration."""
         self.nte(premises).release_interface(index, owner)
+        self._count("release")
         return self._latency.sample("nte.release")

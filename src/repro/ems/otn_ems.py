@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import EquipmentError
 from repro.ems.latency import LatencyModel
+from repro.obs.registry import MetricsRegistry
 from repro.otn.line import OtnLine
 from repro.otn.switch import OtnSwitch
 
@@ -13,9 +14,19 @@ from repro.otn.switch import OtnSwitch
 class OtnEms:
     """Manages the OTN switches and their lines."""
 
-    def __init__(self, switches: Dict[str, OtnSwitch], latency: LatencyModel) -> None:
+    def __init__(
+        self,
+        switches: Dict[str, OtnSwitch],
+        latency: LatencyModel,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._switches = dict(switches)
         self._latency = latency
+        self._metrics = metrics
+
+    def _count(self, op: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(f"ems.otn.{op}")
 
     def switch(self, node: str) -> OtnSwitch:
         """Look up the OTN switch at ``node``.
@@ -46,9 +57,11 @@ class OtnEms:
         Returns the EMS step duration.
         """
         line.allocate(slots, owner)
+        self._count("crossconnect")
         return self._latency.sample("otn.crossconnect")
 
     def remove_crossconnect(self, line: OtnLine, owner: str) -> float:
         """Free a circuit's slots on a line; returns the step duration."""
         line.release_owner(owner)
+        self._count("crossconnect.remove")
         return self._latency.sample("otn.crossconnect.remove")

@@ -9,10 +9,11 @@ settle time of the link, so longer links genuinely take longer to light.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import EquipmentError
 from repro.ems.latency import LatencyModel
+from repro.obs.registry import MetricsRegistry
 from repro.optical.amplifier import AmplifierChain
 from repro.optical.fiber import FiberPlant
 from repro.optical.roadm import Roadm
@@ -26,13 +27,19 @@ class RoadmEms:
         roadms: Dict[str, Roadm],
         plant: FiberPlant,
         latency: LatencyModel,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._roadms = dict(roadms)
         self._plant = plant
         self._latency = latency
+        self._metrics = metrics
         self._chains: Dict[tuple, AmplifierChain] = {
             link.key: AmplifierChain(link.length_km) for link in plant.graph.links
         }
+
+    def _count(self, op: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(f"ems.roadm.{op}")
 
     def roadm(self, name: str) -> Roadm:
         """Look up a managed ROADM.
@@ -52,11 +59,13 @@ class RoadmEms:
     ) -> float:
         """Connect an add/drop port; returns the EMS step duration."""
         self.roadm(node).connect_add_drop(port_id, degree, channel, owner)
+        self._count("add_drop")
         return self._latency.sample("roadm.add_drop")
 
     def remove_add_drop(self, node: str, port_id: str, owner: str) -> float:
         """Disconnect an add/drop port; returns the step duration."""
         self.roadm(node).disconnect_add_drop(port_id, owner)
+        self._count("add_drop.remove")
         return self._latency.sample("roadm.add_drop.remove")
 
     # -- express ----------------------------------------------------------------
@@ -66,6 +75,7 @@ class RoadmEms:
     ) -> float:
         """Set up an express cross-connect; returns the step duration."""
         self.roadm(node).connect_express(degree_in, degree_out, channel, owner)
+        self._count("express")
         return self._latency.sample("roadm.express")
 
     def remove_express(
@@ -73,6 +83,7 @@ class RoadmEms:
     ) -> float:
         """Tear down an express cross-connect; returns the step duration."""
         self.roadm(node).disconnect_express(degree_in, degree_out, channel, owner)
+        self._count("express.remove")
         return self._latency.sample("roadm.express.remove")
 
     # -- optical line tasks ---------------------------------------------------------
@@ -95,10 +106,12 @@ class RoadmEms:
         """
         dwdm = self._plant.dwdm_link(a, b)
         chain = self._chains[dwdm.link.key]
+        self._count("equalize")
         return self._latency.sample(
             "line.equalize", extra=chain.transient_settle_time()
         )
 
     def verify_lightpath(self) -> float:
         """End-to-end verification before customer handover."""
+        self._count("verify")
         return self._latency.sample("verify.end_to_end")

@@ -20,6 +20,8 @@ from repro.core.maintenance import MaintenanceScheduler
 from repro.core.service import BodService
 from repro.ems.latency import LatencyModel
 from repro.iplayer.network import IpLayer
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.optical.wavelength import WavelengthGrid
 from repro.sim.kernel import Simulator
 from repro.sim.randomness import RandomStreams
@@ -41,12 +43,18 @@ class GriphonNetwork:
         parallel_ems: bool = False,
         assignment: str = "first-fit",
         auto_restore: bool = True,
+        tracing: bool = False,
     ) -> None:
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
         self.inventory = InventoryDatabase(graph, WavelengthGrid(grid_size))
         latency_kwargs = {} if latency_cv is None else {"cv": latency_cv}
         self.latency = LatencyModel(self.streams, **latency_kwargs)
+        #: Lifecycle tracing and metrics; the tracer reads the sim clock
+        #: and is shared with the controller (and every EMS under it).
+        self.tracer = Tracer(self.sim.time_source(), enabled=tracing)
+        self.metrics = MetricsRegistry()
+        self.sim.attach_tracer(self.tracer)
         self._controller_kwargs = dict(
             parallel_ems=parallel_ems,
             assignment=assignment,
@@ -63,6 +71,8 @@ class GriphonNetwork:
             self.inventory,
             self.streams,
             latency=self.latency,
+            tracer=self.tracer,
+            metrics=self.metrics,
             **self._controller_kwargs,
         )
         self.maintenance = MaintenanceScheduler(self.controller)
@@ -117,6 +127,7 @@ def build_griphon_testbed(
     parallel_ems: bool = False,
     assignment: str = "first-fit",
     auto_restore: bool = True,
+    tracing: bool = False,
     ots_per_node_10g: int = 8,
     ots_per_node_40g: int = 2,
     nte_interfaces: int = 4,
@@ -138,6 +149,7 @@ def build_griphon_testbed(
         parallel_ems=parallel_ems,
         assignment=assignment,
         auto_restore=auto_restore,
+        tracing=tracing,
     )
     inv = net.inventory
     for node in TESTBED_ROADMS:
@@ -166,6 +178,7 @@ def build_griphon_backbone(
     parallel_ems: bool = False,
     assignment: str = "first-fit",
     auto_restore: bool = True,
+    tracing: bool = False,
     ots_per_node_10g: int = 12,
     ots_per_node_40g: int = 6,
     regens_per_hub: int = 6,
@@ -179,6 +192,7 @@ def build_griphon_backbone(
         parallel_ems=parallel_ems,
         assignment=assignment,
         auto_restore=auto_restore,
+        tracing=tracing,
     )
     inv = net.inventory
     hubs = {"CHI", "STL", "DEN", "DFW", "ATL"}

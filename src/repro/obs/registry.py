@@ -1,0 +1,118 @@
+"""The metrics registry: counters, histograms, and polled gauges.
+
+Aggregates what the tracer sees span by span into durable numbers: how
+many orders blocked, the distribution of every EMS step's duration, the
+route cache's hit rate.  Histograms reuse the experiment machinery's
+:class:`~repro.metrics.collector.Summary` so benchmark tables and the
+registry speak the same statistics.
+
+Gauges are *pull*-style: a zero-argument callable registered once and
+sampled only when a snapshot is taken.  That keeps hot paths (e.g. the
+route cache consulted on every RWA plan) free of per-operation metric
+writes — the cache keeps its own counters and the registry reads them
+on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.metrics.collector import Summary, summarize
+
+
+class MetricsRegistry:
+    """Named counters + histograms + gauges for one network's lifetime."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+        self._gauges: Dict[str, Callable[[], Any]] = {}
+
+    # -- counters ----------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0.0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        """A copy of every counter."""
+        return dict(self._counters)
+
+    # -- histograms --------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one sample to histogram ``name``."""
+        self._histograms.setdefault(name, []).append(value)
+
+    def samples(self, name: str) -> List[float]:
+        """A copy of a histogram's raw samples (empty if none)."""
+        return list(self._histograms.get(name, []))
+
+    def summary(self, name: str) -> Summary:
+        """Summary statistics of histogram ``name``.
+
+        Raises:
+            ValueError: if the histogram is empty or unknown.
+        """
+        return summarize(self._histograms.get(name, []))
+
+    def histograms(self) -> List[str]:
+        """Names of all histograms with at least one sample."""
+        return sorted(self._histograms)
+
+    # -- gauges ------------------------------------------------------------
+
+    def register_gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register a pull-style gauge sampled at snapshot time."""
+        self._gauges[name] = fn
+
+    def gauge(self, name: str) -> Any:
+        """Sample one gauge now.
+
+        Raises:
+            KeyError: for an unregistered gauge.
+        """
+        return self._gauges[name]()
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything, as one JSON-serializable dict.
+
+        Counters verbatim; histograms as summary dicts (count / mean /
+        min / p50 / p95 / max); gauges sampled now.  A gauge whose
+        callable raises is reported as ``None`` rather than poisoning
+        the snapshot.
+        """
+        histograms: Dict[str, Any] = {}
+        for name, samples in self._histograms.items():
+            summary = summarize(samples)
+            histograms[name] = {
+                "count": summary.count,
+                "mean": summary.mean,
+                "min": summary.minimum,
+                "p50": summary.p50,
+                "p95": summary.p95,
+                "max": summary.maximum,
+            }
+        gauges: Dict[str, Any] = {}
+        for name, fn in self._gauges.items():
+            try:
+                gauges[name] = fn()
+            except Exception:
+                gauges[name] = None
+        return {
+            "counters": dict(self._counters),
+            "histograms": histograms,
+            "gauges": gauges,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)}, gauges={len(self._gauges)})"
+        )

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CapacityExceededError, ConfigurationError, ResourceError
+from repro.obs.registry import MetricsRegistry
 from repro.otn.circuit import OduCircuit, OduCircuitState
 from repro.otn.line import OtnLine
 
@@ -28,7 +29,8 @@ PER_HOP_SWITCH_S = 0.025
 class SharedMeshProtection:
     """Pre-planned, capacity-shared backup paths for ODU circuits."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self._metrics = metrics
         self._lines: Dict[str, OtnLine] = {}
         # backup line id -> failure scenario (working link key) -> slots.
         self._reserved: Dict[str, Dict[Tuple[str, str], int]] = {}
@@ -182,11 +184,17 @@ class SharedMeshProtection:
             # allocation so nothing leaks, then report the failure.
             for line in allocated:
                 line.release_owner(circuit.circuit_id)
+            if self._metrics is not None:
+                self._metrics.inc("otn.mesh.blocked")
             raise
         circuit.backup_line_ids = list(backup_line_ids)
         circuit.transition(OduCircuitState.ON_BACKUP)
         hops = len(backup_line_ids)
-        return DETECTION_TIME_S + hops * PER_HOP_SWITCH_S
+        switch_time = DETECTION_TIME_S + hops * PER_HOP_SWITCH_S
+        if self._metrics is not None:
+            self._metrics.inc("otn.mesh.restored")
+            self._metrics.observe("otn.mesh.switch_s", switch_time)
+        return switch_time
 
     def revert(self, circuit_id: str) -> None:
         """Return a restored circuit to its (repaired) working path."""

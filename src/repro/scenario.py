@@ -28,9 +28,9 @@ availability report, and an execution log.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
-from repro.core.connection import Connection, ConnectionState
+from repro.core.connection import Connection
 from repro.errors import ConfigurationError, GriphonError
 from repro.facade import GriphonNetwork
 from repro.metrics import measured_availability

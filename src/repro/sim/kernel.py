@@ -31,6 +31,7 @@ class Simulator:
         self._running = False
         self._trace: List[Tuple[float, str]] = []
         self._trace_enabled = False
+        self._tracer: Optional[Any] = None
 
     # -- clock -------------------------------------------------------------
 
@@ -38,6 +39,31 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    def time_source(self) -> Callable[[], float]:
+        """A zero-argument callable reading this simulator's clock.
+
+        The canonical way to hand the clock to components — like the
+        :class:`~repro.obs.trace.Tracer` — that need the current sim
+        time without holding the whole simulator.
+        """
+        return lambda: self._now
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The attached span tracer, or ``None``."""
+        return self._tracer
+
+    def attach_tracer(self, tracer: Any) -> None:
+        """Attach a :class:`~repro.obs.trace.Tracer` to this simulator.
+
+        The kernel itself never writes spans; the attachment gives
+        processes and components driven by this simulator one shared
+        place to discover the tracer.
+        """
+        self._tracer = tracer
 
     @property
     def pending(self) -> int:

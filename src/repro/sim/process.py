@@ -31,6 +31,12 @@ class Process:
     current simulation time.  When the generator returns, the process is
     marked done and the optional ``on_complete`` callback fires with the
     generator's return value (``None`` unless it used ``return value``).
+
+    A process may carry a tracing ``span`` (see
+    :class:`~repro.obs.trace.Span`): the process finishes the span when
+    the generator completes, and tags it ``interrupted`` if the process
+    is stopped early — so a span handed to a process always closes,
+    whatever the workflow's fate.
     """
 
     def __init__(
@@ -39,6 +45,7 @@ class Process:
         generator: Generator[float, None, Any],
         on_complete: Optional[Callable[[Any], None]] = None,
         label: str = "",
+        span: Optional[Any] = None,
     ) -> None:
         self._sim = sim
         self._generator = generator
@@ -47,6 +54,7 @@ class Process:
         self._done = False
         self._interrupted = False
         self._result: Any = None
+        self._span = span
         self._pending_event = sim.schedule(0.0, self._advance, label=self._label)
 
     @property
@@ -76,6 +84,9 @@ class Process:
         self._generator.close()
         self._done = True
         self._interrupted = True
+        if self._span is not None:
+            self._span.set_tag("interrupted", True)
+            self._span.finish()
 
     def _advance(self) -> None:
         try:
@@ -83,12 +94,17 @@ class Process:
         except StopIteration as stop:
             self._done = True
             self._result = stop.value
+            if self._span is not None:
+                self._span.finish()
             if self._on_complete is not None:
                 self._on_complete(stop.value)
             return
         if not isinstance(delay, (int, float)) or delay < 0:
             self._generator.close()
             self._done = True
+            if self._span is not None:
+                self._span.set_tag("error", "invalid-delay")
+                self._span.finish()
             raise SimulationError(
                 f"process {self._label!r} yielded invalid delay {delay!r}"
             )

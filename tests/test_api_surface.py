@@ -23,6 +23,7 @@ PUBLIC_MODULES = [
     "repro.iplayer",
     "repro.legacy",
     "repro.metrics",
+    "repro.obs",
     "repro.optical",
     "repro.optical.osnr",
     "repro.otn",

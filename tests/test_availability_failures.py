@@ -14,7 +14,6 @@ from repro.metrics import (
     measured_availability,
     nines,
 )
-from repro.sim import RandomStreams
 from repro.units import DAY, HOUR, WEEK, gbps
 from repro.workload import FiberCutInjector
 

@@ -17,7 +17,7 @@ from repro.errors import ConfigurationError, ResourceError
 from repro.optical import WavelengthGrid
 from repro.sim import RandomStreams
 from repro.topo.testbed import build_testbed_graph
-from repro.units import DAY, GBPS, HOUR, WEEK, gbps
+from repro.units import DAY, HOUR, WEEK, gbps
 
 
 class TestManualOperations:

@@ -35,10 +35,38 @@ class TestCommands:
         assert main(["table2", "--iterations", "2"]) == 0
         out = capsys.readouterr().out
         assert "paper mean" in out
-        lines = [l for l in out.splitlines() if l.strip() and l[0].isdigit() is False]
         # Three data rows, one per hop count.
-        data = [l for l in out.splitlines() if l.strip().startswith(("1 ", "2 ", "3 "))]
+        data = [
+            line
+            for line in out.splitlines()
+            if line.strip().startswith(("1 ", "2 ", "3 "))
+        ]
         assert len(data) == 3
+
+    def test_trace(self, capsys, tmp_path):
+        out_json = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--iterations", "1", "--json", str(out_json)]
+        ) == 0
+        out = capsys.readouterr().out
+        # The 12G example's span tree...
+        assert "12 Gbps" in out
+        assert "connection.request" in out
+        assert "lightpath.setup" in out
+        assert "ems.tune" in out
+        # ...and the per-phase Table 2 rows for 1/2/3 hops.
+        assert "Table 2 phase breakdown" in out
+        data = [
+            line
+            for line in out.splitlines()
+            if line.strip().startswith(("1 ", "2 ", "3 "))
+        ]
+        assert len(data) == 3
+        assert out_json.exists()
+        import json
+
+        spans = json.loads(out_json.read_text())
+        assert any(s["name"] == "connection.request" for s in spans)
 
     def test_restore(self, capsys):
         assert main(["restore"]) == 0

@@ -5,7 +5,6 @@ import pytest
 from repro.core.connection import ConnectionKind, ConnectionState
 from repro.errors import ConnectionStateError, ResourceError
 from repro.facade import build_griphon_testbed
-from repro.units import gbps
 
 
 @pytest.fixture

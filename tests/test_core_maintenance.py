@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.connection import ConnectionState
-from repro.core.maintenance import MaintenanceScheduler
 from repro.errors import ConfigurationError
 from repro.facade import build_griphon_testbed
 

@@ -8,7 +8,6 @@ channel, transponder, regenerator, NTE interface, and tributary slot is
 back in the free pool, and every customer's quota reads zero.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

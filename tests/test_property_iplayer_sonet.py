@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.errors import GriphonError
 from repro.iplayer import IpLayer
 from repro.legacy import SonetRing
-from repro.units import gbps, mbps
+from repro.units import gbps
 
 
 def build_ip_triangle():

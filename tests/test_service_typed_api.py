@@ -1,0 +1,137 @@
+"""Tests for the typed BodService surface (FaultReport, Usage, validation)."""
+
+import math
+
+import pytest
+
+from repro.core.connection import ConnectionState
+from repro.core.service import FaultReport, Usage, UsageLimits
+from repro.errors import AdmissionError
+from repro.facade import build_griphon_testbed
+from repro.units import GBPS
+
+
+@pytest.fixture
+def net():
+    return build_griphon_testbed(seed=4, latency_cv=0.0)
+
+
+@pytest.fixture
+def svc(net):
+    return net.service_for("csp-typed", max_connections=8,
+                           max_total_rate_gbps=100.0)
+
+
+class TestFaultReport:
+    def test_in_service_report(self, net, svc):
+        conn = svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        report = svc.fault_report(conn.connection_id)
+        assert isinstance(report, FaultReport)
+        assert report.state is ConnectionState.UP
+        assert report.localized_links == ()
+        assert report.action == ""
+        assert str(report) == f"{conn.connection_id}: in service"
+        assert "in service" in report  # substring compat
+
+    def test_outage_report_localizes_links(self, net, svc):
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        path = net.inventory.lightpaths[conn.lightpath_ids[0]].path
+        net.controller.auto_restore = False
+        net.controller.cut_link(path[0], path[1])
+        report = svc.fault_report(conn.connection_id)
+        assert report.state is ConnectionState.FAILED
+        assert report.action == "awaiting restoration"
+        cut = tuple(sorted((path[0], path[1])))
+        assert cut in report.localized_links
+        assert "outage localized to" in str(report)
+        assert f"{cut[0]}={cut[1]}" in str(report)
+
+    def test_blocked_report(self, net):
+        svc = net.service_for("csp-tiny2", max_connections=0)
+        conn = svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        report = svc.fault_report(conn.connection_id)
+        assert report.state is ConnectionState.BLOCKED
+        assert report.blocked_reason == conn.blocked_reason
+        assert str(report).startswith(f"{conn.connection_id}: blocked - ")
+
+    def test_report_carries_trace_id(self):
+        net = build_griphon_testbed(seed=4, tracing=True)
+        svc = net.service_for("csp")
+        conn = svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        report = svc.fault_report(conn.connection_id)
+        assert report.trace_id == conn.trace_id
+        assert report.trace_id is not None
+
+    def test_restoring_report_mentions_progress(self, net, svc):
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        path = net.inventory.lightpaths[conn.lightpath_ids[0]].path
+        net.controller.cut_link(path[0], path[1])
+        # Before running the sim, restoration is in flight.
+        assert conn.state is ConnectionState.RESTORING
+        report = svc.fault_report(conn.connection_id)
+        assert report.action == "restoration in progress"
+        assert "restoration in progress" in str(report)
+
+
+class TestUsage:
+    def test_typed_fields(self, net, svc):
+        svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        usage = svc.usage()
+        assert isinstance(usage, Usage)
+        assert usage.connections == 1
+        assert usage.committed_gbps == pytest.approx(10.0)
+        assert usage.limits == UsageLimits(
+            max_connections=8, max_total_rate_gbps=100.0
+        )
+
+    def test_mapping_compatibility(self, net, svc):
+        svc.request_connection("PREMISES-A", "PREMISES-B", 10)
+        net.run()
+        usage = svc.usage()
+        assert usage["connections"] == 1
+        assert usage["rate_bps"] == pytest.approx(10 * GBPS)
+        assert set(dict(usage)) == {
+            "connections", "committed_gbps", "rate_bps", "limits"
+        }
+        with pytest.raises(KeyError):
+            usage["nonsense"]
+
+    def test_empty_usage(self, net, svc):
+        usage = svc.usage()
+        assert usage.connections == 0
+        assert usage.committed_gbps == 0.0
+
+
+class TestRateValidation:
+    @pytest.mark.parametrize(
+        "rate", [0, -1, -0.5, float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_positive_or_non_finite_rejected(self, net, svc, rate):
+        with pytest.raises(AdmissionError) as excinfo:
+            svc.request_connection("PREMISES-A", "PREMISES-B", rate)
+        message = str(excinfo.value)
+        assert "rate_gbps" in message
+        # The error speaks the GUI's unit, with the offending value.
+        if not math.isnan(rate):
+            assert repr(float(rate)) in message or repr(rate) in message
+
+    @pytest.mark.parametrize("rate", ["10", None, [], True])
+    def test_non_numeric_rejected(self, net, svc, rate):
+        with pytest.raises(AdmissionError):
+            svc.request_connection("PREMISES-A", "PREMISES-B", rate)
+
+    def test_invalid_rate_leaves_no_record(self, net, svc):
+        with pytest.raises(AdmissionError):
+            svc.request_connection("PREMISES-A", "PREMISES-B", -5)
+        assert svc.connections() == []
+        assert svc.usage().connections == 0
+
+    def test_valid_rate_still_admitted(self, net, svc):
+        conn = svc.request_connection("PREMISES-A", "PREMISES-B", 0.5)
+        net.run()
+        assert conn.state is ConnectionState.UP

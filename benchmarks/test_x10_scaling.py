@@ -11,98 +11,50 @@ PoPs and measure what actually changes with scale:
   so it is measured in microseconds of real time, not simulated time);
 * blocking under a fixed per-node load stays controlled because
   resources scale with the network.
+
+The sweep is declared as a :class:`~repro.sweep.spec.SweepSpec` (axis:
+``node_count``) and driven through the scale-out engine; the network
+factory is :func:`repro.sweep.studies.build_waxman_network`, which
+shares its premises-attach and equipment-install steps with every other
+experiment via :mod:`repro.topo.builders`.
 """
 
-import statistics
-
 from benchmarks.harness import print_rows
-from repro.core.connection import ConnectionState
-from repro.facade import GriphonNetwork
-from repro.sim import RandomStreams
-from repro.topo.generator import generate_backbone
-from repro.units import GBPS
+from repro.sweep import run_sweep, x10_scaling_spec
+
+NODE_COUNTS = (8, 16, 32)
 
 
-def build_network_clean(seed, node_count):
-    """Generate the graph, attach premises, then build the network."""
-    from repro.topo.graph import Link, Node
-
-    graph = generate_backbone(
-        RandomStreams(seed), node_count=node_count, plane_km=2000.0
-    )
-    pops = [node.name for node in graph.nodes]
-    for pop in pops:
-        premises = f"DC-{pop}"
-        graph.add_node(Node(premises, kind="premises"))
-        graph.add_link(
-            Link(premises, pop, length_km=20.0,
-                 srlgs=frozenset({f"srlg:access:{premises}"}))
-        )
-    net = GriphonNetwork(graph, seed=seed, latency_cv=0.0)
-    inv = net.inventory
-    for pop in pops:
-        inv.install_roadm(pop, add_drop_ports=16)
-        inv.install_transponders(pop, 10 * GBPS, 6)
-        inv.install_regens(pop, 10 * GBPS, 4)
-        inv.install_fxc(pop, port_count=32)
-        inv.install_nte(f"DC-{pop}", pop, interface_count=8)
-        inv.install_fxc(f"DC-{pop}", port_count=16)
-    net.finish_build()
-    return pops, net
-
-
-def measure_scale(node_count, orders=12, seed=950):
-    pops, net = build_network_clean(seed + node_count, node_count)
-    svc = net.service_for(
-        "csp", max_connections=256, max_total_rate_gbps=100000
-    )
-    setups, blocked, hops = [], 0, []
-    for index in range(orders):
-        a = f"DC-{pops[index % len(pops)]}"
-        b = f"DC-{pops[(index * 7 + 3) % len(pops)]}"
-        if a == b:
-            continue
-        conn = svc.request_connection(a, b, 10)
-        net.run()
-        if conn.state is ConnectionState.BLOCKED:
-            blocked += 1
-        elif conn.state is ConnectionState.UP:
-            setups.append(conn.setup_duration)
-            lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
-            hops.append(lightpath.hop_count)
-    return {
-        "mean_setup_s": statistics.fmean(setups) if setups else float("nan"),
-        "mean_hops": statistics.fmean(hops) if hops else float("nan"),
-        "blocked": blocked,
-        "served": len(setups),
-    }
+def run_study(jobs: int = 1):
+    return run_sweep(x10_scaling_spec(node_counts=NODE_COUNTS), jobs=jobs)
 
 
 def test_x10_scaling_sweep(benchmark):
-    def run():
-        return {n: measure_scale(n) for n in (8, 16, 32)}
+    result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    assert not result.failed, [r.error for r in result.failed]
+    grouped = result.grouped_values()
+    by_nodes = {n: grouped[f"node_count={n}"] for n in NODE_COUNTS}
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [["PoPs", "served", "blocked", "mean hops", "mean setup (s)"]]
-    for n, stats in sorted(results.items()):
+    for n, stats in sorted(by_nodes.items()):
         rows.append(
             [
                 str(n),
-                str(stats["served"]),
-                str(stats["blocked"]),
+                f"{stats['served']:.0f}",
+                f"{stats['blocked']:.0f}",
                 f"{stats['mean_hops']:.1f}",
                 f"{stats['mean_setup_s']:.1f}",
             ]
         )
     print_rows("X10: scaling on generated backbones", rows)
     benchmark.extra_info.update(
-        {str(n): stats["mean_setup_s"] for n, stats in results.items()}
+        {str(n): stats["mean_setup_s"] for n, stats in by_nodes.items()}
     )
 
-    for stats in results.values():
+    for stats in by_nodes.values():
         assert stats["served"] > 0
         # Setup stays in the ~1-2 minute band at every scale.
         assert 55 <= stats["mean_setup_s"] <= 150
     # Bigger networks mean longer average routes, never shorter setup
     # than the smallest network's floor.
-    assert results[32]["mean_hops"] >= results[8]["mean_hops"] * 0.8
+    assert by_nodes[32]["mean_hops"] >= by_nodes[8]["mean_hops"] * 0.8

@@ -6,76 +6,73 @@ inter-DC connections themselves are available.  We subject the same
 connection to a month of Poisson fiber cuts under each restoration
 regime and measure availability, then cross-check against the analytic
 ``MTBF / (MTBF + MTTR)`` with each regime's MTTR.
+
+The study is now a Monte Carlo: four independent seeds per regime,
+declared as a :class:`~repro.sweep.spec.SweepSpec` and driven through
+the scale-out sweep engine (``griphon sweep x9 --jobs N`` regenerates
+it from a shell; ``benchmarks/sweep_report.py`` measures the
+serial-versus-parallel wall-clock on the same spec).
 """
 
 from benchmarks.harness import print_rows
-from repro.core.connection import ConnectionState
-from repro.facade import build_griphon_testbed
-from repro.metrics import (
-    availability_from_mtbf_mttr,
-    downtime_minutes_per_year,
-    measured_availability,
-)
-from repro.units import DAY, HOUR
-from repro.workload import FiberCutInjector
+from repro.metrics import availability_from_mtbf_mttr, downtime_minutes_per_year
+from repro.sweep import run_sweep, x9_availability_spec
+from repro.units import DAY
 
 HORIZON = 28 * DAY
-MTBF = 2 * DAY  # network-wide; aggressive, to get statistics in a month
+REPEATS = 4
+
+#: Restoration MTTR (seconds) for the analytic cross-check.
+RESTORE_MTTR_S = 64.0
 
 
-def run_month(auto_restore):
-    net = build_griphon_testbed(
-        seed=900, latency_cv=0.0, auto_restore=auto_restore
+def run_study(jobs: int = 1):
+    return run_sweep(
+        x9_availability_spec(repeats=REPEATS, horizon_s=HORIZON), jobs=jobs
     )
-    svc = net.service_for("csp")
-    conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
-    net.run()
-    injector = FiberCutInjector(
-        net.controller,
-        net.streams,
-        mean_time_between_cuts_s=MTBF,
-        mean_repair_s=6 * HOUR,
-        stop_at=HORIZON,
-    )
-    net.run(until=HORIZON + 2 * DAY)
-    net.run()
-    if conn.outage_started_at is not None:
-        conn.end_outage(net.sim.now)
-    availability = measured_availability(conn, conn.up_at, HORIZON)
-    return availability, len(injector.records), conn
 
 
 def test_x9_availability_with_and_without_restoration(benchmark):
-    def run():
-        return {
-            "GRIPhoN automated restoration": run_month(auto_restore=True),
-            "manual repair only": run_month(auto_restore=False),
-        }
+    result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    assert not result.failed, [r.error for r in result.failed]
+    grouped = result.grouped_values()
+    griphon = grouped["auto_restore=True"]
+    manual = grouped["auto_restore=False"]
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [["regime", "cuts", "availability", "downtime (min/yr equiv)"]]
-    for name, (availability, cuts, _) in results.items():
+    for name, means in (
+        ("GRIPhoN automated restoration", griphon),
+        ("manual repair only", manual),
+    ):
         rows.append(
             [
                 name,
-                str(cuts),
-                f"{availability:.5f}",
-                f"{downtime_minutes_per_year(availability):,.0f}",
+                f"{means['cuts']:.1f}",
+                f"{means['availability']:.5f}",
+                f"{downtime_minutes_per_year(means['availability']):,.0f}",
             ]
         )
-    print_rows("X9: one month of fiber cuts", rows)
+    print_rows(
+        f"X9: one month of fiber cuts ({REPEATS} seeds/regime)", rows
+    )
     benchmark.extra_info.update(
-        {name: value[0] for name, value in results.items()}
+        {
+            "griphon": griphon["availability"],
+            "manual": manual["availability"],
+        }
     )
 
-    griphon, _, griphon_conn = results["GRIPhoN automated restoration"]
-    manual, _, _ = results["manual repair only"]
-    assert griphon_conn.state is ConnectionState.UP
+    # Every restoration trial ends with the connection up.
+    restore_trials = [
+        r for r in result.results if r.params["auto_restore"]
+    ]
+    assert all(r.values["up"] for r in restore_trials)
     # Restoration keeps the connection essentially always-on...
-    assert griphon > 0.999
+    assert griphon["availability"] > 0.999
     # ...while waiting for physical repair costs orders of magnitude.
-    assert manual < griphon
-    assert (1 - manual) / (1 - griphon) > 20
+    assert manual["availability"] < griphon["availability"]
+    ratio = (1 - manual["availability"]) / (1 - griphon["availability"])
+    assert ratio > 20
 
 
 def test_x9_analytic_cross_check(benchmark):
@@ -85,20 +82,29 @@ def test_x9_analytic_cross_check(benchmark):
     longer than the network-wide MTBF)."""
 
     def run():
-        measured, cuts, conn = run_month(auto_restore=True)
-        # Path-level MTBF: the connection's path is 1 of 5 core links
-        # most of the time, so scale the network MTBF accordingly.
-        hits = max(1, round(conn.total_outage_s / 64.0))
-        per_path_mtbf = HORIZON / hits
-        analytic = availability_from_mtbf_mttr(per_path_mtbf, 64.0)
-        return measured, analytic
+        result = run_study()
+        checks = []
+        for trial in result.results:
+            if not trial.params["auto_restore"]:
+                continue
+            measured = trial.values["availability"]
+            # Path-level MTBF: infer how many cuts actually hit the
+            # connection's path from its total outage.
+            hits = max(
+                1, round(trial.values["total_outage_s"] / RESTORE_MTTR_S)
+            )
+            per_path_mtbf = HORIZON / hits
+            analytic = availability_from_mtbf_mttr(
+                per_path_mtbf, RESTORE_MTTR_S
+            )
+            checks.append((trial.trial_id, measured, analytic))
+        return checks
 
-    measured, analytic = benchmark.pedantic(run, rounds=1, iterations=1)
-    print_rows(
-        "X9: analytic cross-check (GRIPhoN regime)",
-        [
-            ["measured availability", "analytic MTBF/(MTBF+MTTR)"],
-            [f"{measured:.6f}", f"{analytic:.6f}"],
-        ],
-    )
-    assert measured == analytic or abs(measured - analytic) < 2e-3
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [["trial", "measured", "analytic MTBF/(MTBF+MTTR)"]]
+    for trial_id, measured, analytic in checks:
+        rows.append([trial_id, f"{measured:.6f}", f"{analytic:.6f}"])
+    print_rows("X9: analytic cross-check (GRIPhoN regime)", rows)
+    assert checks
+    for trial_id, measured, analytic in checks:
+        assert measured == analytic or abs(measured - analytic) < 2e-3, trial_id

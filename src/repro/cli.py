@@ -7,15 +7,20 @@ Usage::
     python -m repro trace --json trace.json
     python -m repro restore
     python -m repro operator
+    python -m repro sweep x9 --jobs 8 --json sweep.json
 
 (Installed as the ``griphon`` console script.)  Each subcommand builds a
-fresh simulated network, runs one scenario, and prints a short report.
+fresh simulated network, runs one scenario, and prints a short report —
+except ``sweep``, which fans a whole experiment grid over worker
+processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.core.gui import render_connections, render_network_view
@@ -180,6 +185,39 @@ def cmd_operator(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run an experiment sweep, serially or across worker processes."""
+    from repro.sweep import (
+        SweepSpec,
+        run_sweep,
+        x10_scaling_spec,
+        x9_availability_spec,
+    )
+
+    if args.study == "x9":
+        spec = x9_availability_spec(repeats=args.repeats)
+    elif args.study == "x10":
+        spec = x10_scaling_spec(repeats=args.repeats)
+    else:
+        spec_data = json.loads(Path(args.study).read_text())
+        spec = SweepSpec.from_dict(spec_data)
+    result = run_sweep(spec, jobs=args.jobs, timeout_s=args.timeout)
+    print(
+        f"sweep {spec.name}: {len(result.results)} trial(s), "
+        f"jobs={args.jobs}, {result.elapsed_s:.2f}s wall-clock, "
+        f"{len(result.failed)} failed"
+    )
+    for label, means in result.grouped_values().items():
+        parts = ", ".join(f"{k}={v:.6g}" for k, v in sorted(means.items()))
+        print(f"  {label}: {parts}")
+    for failure in result.failed:
+        print(f"  FAILED {failure.trial_id}: {failure.error}")
+    if args.json:
+        Path(args.json).write_text(result.to_json())
+        print(f"wrote aggregate to {args.json}")
+    return 1 if result.failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -218,6 +256,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "restore", help="fiber cut + automated restoration demo"
     ).set_defaults(func=cmd_restore)
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment sweep across worker processes",
+    )
+    sweep.add_argument(
+        "study",
+        help="built-in study (x9, x10) or path to a JSON sweep spec",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = serial; same results either way)",
+    )
+    sweep.add_argument(
+        "--repeats", type=int, default=4,
+        help="replicate seeds per grid point for built-in studies (default 4)",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=900.0,
+        help="watchdog: fail if no trial completes for this many seconds",
+    )
+    sweep.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the deterministic aggregate JSON to PATH",
+    )
+    sweep.set_defaults(func=cmd_sweep)
     sub.add_parser(
         "operator", help="print the carrier operator network view"
     ).set_defaults(func=cmd_operator)

@@ -136,15 +136,26 @@ class GriphonController:
             metrics=self.metrics,
         )
         self.protection = SharedMeshProtection(metrics=self.metrics)
-        route_cache = self.rwa.route_cache
-        if route_cache is not None:
-            self.metrics.register_gauge(
-                "rwa.route_cache.hit_rate",
-                lambda: route_cache.stats()["hit_rate"],
-            )
-            self.metrics.register_gauge(
-                "rwa.route_cache.size", lambda: len(route_cache)
-            )
+        # The gauges read the engine's cache at sample time (not a
+        # captured reference) and degrade to None/0 when no cache is
+        # attached — e.g. inside a sweep worker built with the cache
+        # disabled — instead of raising at snapshot time.
+        self.metrics.register_gauge(
+            "rwa.route_cache.hit_rate",
+            lambda: (
+                self.rwa.route_cache.stats()["hit_rate"]
+                if self.rwa.route_cache is not None
+                else None
+            ),
+        )
+        self.metrics.register_gauge(
+            "rwa.route_cache.size",
+            lambda: (
+                len(self.rwa.route_cache)
+                if self.rwa.route_cache is not None
+                else 0
+            ),
+        )
         self.grooming = GroomingEngine(
             inventory, self.protection, line_factory=self._create_otn_line
         )

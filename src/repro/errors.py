@@ -58,3 +58,11 @@ class SimulationError(GriphonError):
 
 class ConfigurationError(GriphonError):
     """Invalid user-supplied configuration values."""
+
+
+class SweepTimeoutError(GriphonError):
+    """A parallel sweep did not finish within its deadline.
+
+    Raised by the sweep engine's watchdog so a deadlocked worker pool
+    fails the run (e.g. a CI job) instead of hanging it forever.
+    """

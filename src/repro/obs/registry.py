@@ -15,7 +15,7 @@ on demand.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Mapping, Union
 
 from repro.metrics.collector import Summary, summarize
 
@@ -77,6 +77,36 @@ class MetricsRegistry:
             KeyError: for an unregistered gauge.
         """
         return self._gauges[name]()
+
+    # -- merging -----------------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        """Counters and raw histogram samples, losslessly.
+
+        The mergeable (and picklable, JSON-able) form of the registry:
+        everything :meth:`merge` needs to reconstruct this registry's
+        contribution inside another registry.  Gauges are excluded —
+        they are live callables bound to per-process objects and cannot
+        cross a process boundary.
+        """
+        return {
+            "counters": dict(self._counters),
+            "samples": {name: list(s) for name, s in self._histograms.items()},
+        }
+
+    def merge(self, other: Union["MetricsRegistry", Mapping[str, Any]]) -> None:
+        """Fold another registry (or a :meth:`state` dict) into this one.
+
+        Counters add; histogram samples concatenate, so summaries of the
+        merged registry are exactly the summaries of the pooled samples
+        — no precision is lost to pre-aggregation.  This is how the
+        sweep engine combines per-worker metrics in the parent process.
+        """
+        state = other.state() if isinstance(other, MetricsRegistry) else other
+        for name, value in state.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0.0) + value
+        for name, samples in state.get("samples", {}).items():
+            self._histograms.setdefault(name, []).extend(samples)
 
     # -- export ------------------------------------------------------------
 

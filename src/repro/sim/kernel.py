@@ -1,12 +1,25 @@
-"""The discrete-event simulator: a virtual clock plus an event heap."""
+"""The discrete-event simulator: a virtual clock plus an event heap.
+
+The kernel is the hot path of every experiment — a month-long
+availability study fires hundreds of thousands of events — so
+:meth:`Simulator.run` keeps its inner loop tight: the heap and
+``heappop`` are bound to locals, fired events bypass the defensive
+re-checks of :meth:`Event.fire`, and canceled events are compacted out
+of the heap wholesale once they dominate it instead of being popped one
+at a time.
+"""
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import Event
+
+#: Canceled events are compacted out of the heap only past this size, so
+#: small simulations never pay the (cheap) rebuild.
+_COMPACT_MIN_CANCELED = 64
 
 
 class Simulator:
@@ -28,10 +41,12 @@ class Simulator:
         self._seq = 0
         self._heap: List[Event] = []
         self._pending = 0
+        self._canceled_in_heap = 0
         self._running = False
         self._trace: List[Tuple[float, str]] = []
         self._trace_enabled = False
         self._tracer: Optional[Any] = None
+        self._time_source: Optional[Callable[[], float]] = None
 
     # -- clock -------------------------------------------------------------
 
@@ -45,9 +60,18 @@ class Simulator:
 
         The canonical way to hand the clock to components — like the
         :class:`~repro.obs.trace.Tracer` — that need the current sim
-        time without holding the whole simulator.
+        time without holding the whole simulator.  One closure is
+        created per simulator and returned on every call, so handing
+        the clock to N components costs one allocation, not N.
         """
-        return lambda: self._now
+        source = self._time_source
+        if source is None:
+
+            def source() -> float:
+                return self._now
+
+            self._time_source = source
+        return source
 
     # -- observability -------------------------------------------------------
 
@@ -76,6 +100,23 @@ class Simulator:
 
     def _event_canceled(self) -> None:
         self._pending -= 1
+        canceled = self._canceled_in_heap + 1
+        self._canceled_in_heap = canceled
+        if canceled >= _COMPACT_MIN_CANCELED and canceled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop canceled events from the heap and restore heap order.
+
+        Rebuilds *in place* (slice assignment) so that a ``run`` loop
+        holding a local reference to the heap keeps seeing the live
+        structure even when a callback's cancellations trigger
+        compaction mid-run.
+        """
+        heap = self._heap
+        heap[:] = [event for event in heap if not event._canceled]
+        heapq.heapify(heap)
+        self._canceled_in_heap = 0
 
     # -- scheduling ---------------------------------------------------------
 
@@ -119,13 +160,61 @@ class Simulator:
         self._pending += 1
         return event
 
+    def schedule_many(
+        self,
+        entries: Iterable[Sequence[Any]],
+    ) -> List[Event]:
+        """Batch-schedule events at absolute times.
+
+        Each entry is ``(time, callback)``, ``(time, callback, args)``,
+        or ``(time, callback, args, label)`` with ``args`` a tuple.
+        Sequence numbers are assigned in iteration order, so the FIFO
+        tiebreak among equal timestamps matches an equivalent series of
+        :meth:`schedule_at` calls exactly.
+
+        Large batches are merged with one O(n) ``heapify`` instead of
+        n ``heappush`` calls — this is the API the workload generators
+        and the scenario runner use to pre-load entire timelines.
+
+        Raises:
+            SimulationError: if any entry's time is before the clock
+                (no events from the batch are scheduled in that case).
+        """
+        now = self._now
+        seq = self._seq
+        on_cancel = self._event_canceled
+        events: List[Event] = []
+        for entry in entries:
+            time = entry[0]
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at t={time} before current time t={now}"
+                )
+            args = entry[2] if len(entry) > 2 else ()
+            label = entry[3] if len(entry) > 3 else ""
+            events.append(Event(time, seq, entry[1], args, label, on_cancel))
+            seq += 1
+        if not events:
+            return events
+        self._seq = seq
+        heap = self._heap
+        if len(events) < 8 or len(events) * 4 < len(heap):
+            for event in events:
+                heapq.heappush(heap, event)
+        else:
+            heap.extend(events)
+            heapq.heapify(heap)
+        self._pending += len(events)
+        return events
+
     # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False if the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
-            if event.canceled:
+            if event._canceled:
+                self._canceled_in_heap -= 1
                 continue
             self._now = event.time
             if self._trace_enabled and event.label:
@@ -153,12 +242,19 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
+        # The inner loop is the hottest code in the repository: bind the
+        # heap and heappop to locals and fire events inline (the
+        # canceled re-check of Event.fire is redundant here — nothing
+        # can cancel the head between the pop and the call below).
+        heap = self._heap
+        pop = heapq.heappop
         fired = 0
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.canceled:
-                    heapq.heappop(self._heap)
+            while heap:
+                head = heap[0]
+                if head._canceled:
+                    pop(heap)
+                    self._canceled_in_heap -= 1
                     continue
                 if until is not None and head.time > until:
                     break
@@ -166,7 +262,13 @@ class Simulator:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway event loop?"
                     )
-                self.step()
+                pop(heap)
+                self._now = head.time
+                self._pending -= 1
+                if self._trace_enabled and head.label:
+                    self._trace.append((head.time, head.label))
+                head._fired = True
+                head.callback(*head.args)
                 fired += 1
         finally:
             self._running = False

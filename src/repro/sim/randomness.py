@@ -34,6 +34,24 @@ class RandomStreams:
         """The seed from which every substream is derived."""
         return self._master_seed
 
+    def spawn(self, key: str) -> "RandomStreams":
+        """Derive an independent child family of streams.
+
+        The child's master seed is a stable hash of ``(master_seed,
+        key)`` — deterministic across processes, like the substream
+        derivation — so a sweep can hand every trial its own
+        ``RandomStreams`` universe: trials with distinct keys never
+        share a stream with each other or with the parent.
+
+        Note the domain separation (``"spawn:"`` prefix): a spawned
+        child's master seed can never collide with a sibling substream
+        seed for the same key.
+        """
+        digest = hashlib.sha256(
+            f"spawn:{self._master_seed}:{key}".encode("utf-8")
+        ).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))
+
     def stream(self, name: str) -> random.Random:
         """Return (creating if needed) the substream for ``name``."""
         existing = self._streams.get(name)

@@ -1,0 +1,278 @@
+"""Built-in sweep studies: picklable trial runners + spec factories.
+
+Every runner here is a module-level function taking one
+:class:`~repro.sweep.spec.TrialSpec` and returning a
+:class:`~repro.sweep.engine.TrialResult` — the shape the engine can
+ship to a worker process by reference.  Networks are always built
+*inside* the trial from the spec's parameters and seed.
+
+The module also hosts the study registry used by JSON sweep specs and
+the ``griphon sweep`` CLI, plus factories for the repository's two
+statistical benchmarks (the x9 availability Monte Carlo and the x10
+scaling sweep).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Callable, Dict, Mapping, Sequence
+
+from repro.core.connection import ConnectionState
+from repro.errors import ConfigurationError
+from repro.facade import (
+    GriphonNetwork,
+    build_griphon_backbone,
+    build_griphon_testbed,
+)
+from repro.metrics import downtime_minutes_per_year, measured_availability
+from repro.scenario import Scenario, run_scenario
+from repro.sim.randomness import RandomStreams
+from repro.sweep.engine import TrialResult
+from repro.sweep.spec import SweepSpec, TrialSpec
+from repro.topo.builders import attach_premises, install_pop_equipment
+from repro.topo.generator import generate_backbone
+from repro.units import DAY, HOUR
+from repro.workload import FiberCutInjector
+
+
+# -- topology factories -----------------------------------------------------
+
+
+def build_waxman_network(
+    seed: int,
+    node_count: int,
+    plane_km: float = 2000.0,
+    **equipment: Any,
+) -> GriphonNetwork:
+    """A generated Waxman backbone with premises and standard equipment.
+
+    The sweep engine's workhorse topology factory: graph generation,
+    premises attachment, and equipment install all derive from the one
+    ``seed``, so a trial spec fully determines the network.
+    """
+    graph = generate_backbone(
+        RandomStreams(seed), node_count=node_count, plane_km=plane_km
+    )
+    pops = [node.name for node in graph.nodes]
+    premises = attach_premises(graph, pops)
+    net = GriphonNetwork(graph, seed=seed, latency_cv=0.0)
+    install_pop_equipment(net.inventory, pops, premises, **equipment)
+    net.finish_build()
+    return net
+
+
+def _build_topology(trial: TrialSpec) -> GriphonNetwork:
+    """Build the trial's network from its ``topology`` parameter."""
+    params = trial.params
+    topology = params.get("topology", "testbed")
+    if topology == "testbed":
+        return build_griphon_testbed(
+            seed=trial.seed,
+            latency_cv=params.get("latency_cv", 0.0),
+            auto_restore=params.get("auto_restore", True),
+        )
+    if topology == "backbone":
+        return build_griphon_backbone(
+            seed=trial.seed,
+            latency_cv=params.get("latency_cv", 0.0),
+            auto_restore=params.get("auto_restore", True),
+        )
+    if topology == "waxman":
+        return build_waxman_network(
+            trial.seed, node_count=int(params.get("node_count", 16))
+        )
+    raise ConfigurationError(f"unknown topology {topology!r}")
+
+
+# -- study runners ----------------------------------------------------------
+
+
+def availability_trial(trial: TrialSpec) -> TrialResult:
+    """One month (by default) of Poisson fiber cuts against a live 10G.
+
+    The x9 study: build the Fig. 4 testbed, bring up one connection,
+    subject the network to random cuts with hours-long physical
+    repairs, and measure the connection's availability under the
+    trial's restoration regime.
+    """
+    params = trial.params
+    horizon = float(params.get("horizon_s", 28 * DAY))
+    net = build_griphon_testbed(
+        seed=trial.seed,
+        latency_cv=0.0,
+        auto_restore=bool(params["auto_restore"]),
+    )
+    service = net.service_for("csp")
+    conn = service.request_connection(
+        params.get("a", "PREMISES-A"), params.get("b", "PREMISES-C"),
+        params.get("rate_gbps", 10),
+    )
+    net.run()
+    injector = FiberCutInjector(
+        net.controller,
+        net.streams,
+        mean_time_between_cuts_s=float(params.get("mtbf_s", 2 * DAY)),
+        mean_repair_s=float(params.get("mean_repair_s", 6 * HOUR)),
+        stop_at=horizon,
+    )
+    net.run(until=horizon + 2 * DAY)
+    net.run()
+    if conn.outage_started_at is not None:
+        conn.end_outage(net.sim.now)
+    availability = measured_availability(conn, conn.up_at, horizon)
+    repairs = [
+        record.repair_duration
+        for record in injector.records
+        if record.repair_duration is not None
+    ]
+    return TrialResult(
+        values={
+            "availability": availability,
+            "cuts": len(injector.records),
+            "up": conn.state is ConnectionState.UP,
+            "total_outage_s": conn.total_outage_s,
+            "downtime_min_per_year": downtime_minutes_per_year(availability),
+        },
+        samples={"repair_s": repairs},
+        metrics=net.metrics.state(),
+    )
+
+
+def scaling_trial(trial: TrialSpec) -> TrialResult:
+    """Probe establishment time and blocking on a generated backbone.
+
+    The x10 study: a fixed cycle of inter-DC orders on a Waxman mesh of
+    the trial's ``node_count``, measuring setup time, hop count, and
+    blocking under per-node-scaled resources.
+    """
+    params = trial.params
+    node_count = int(params["node_count"])
+    orders = int(params.get("orders", 12))
+    net = build_waxman_network(trial.seed, node_count=node_count)
+    pops = [
+        node.name for node in net.inventory.graph.nodes if node.kind != "premises"
+    ]
+    service = net.service_for(
+        "csp", max_connections=256, max_total_rate_gbps=100000
+    )
+    setups, hops, blocked = [], [], 0
+    for index in range(orders):
+        a = f"DC-{pops[index % len(pops)]}"
+        b = f"DC-{pops[(index * 7 + 3) % len(pops)]}"
+        if a == b:
+            continue
+        conn = service.request_connection(a, b, 10)
+        net.run()
+        if conn.state is ConnectionState.BLOCKED:
+            blocked += 1
+        elif conn.state is ConnectionState.UP:
+            setups.append(conn.setup_duration)
+            lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
+            hops.append(lightpath.hop_count)
+    return TrialResult(
+        values={
+            "mean_setup_s": statistics.fmean(setups) if setups else float("nan"),
+            "mean_hops": statistics.fmean(hops) if hops else float("nan"),
+            "blocked": blocked,
+            "served": len(setups),
+        },
+        samples={"setup_s": setups, "hops": [float(h) for h in hops]},
+        metrics=net.metrics.state(),
+    )
+
+
+def scenario_trial(trial: TrialSpec) -> TrialResult:
+    """Run a declarative :class:`~repro.scenario.Scenario` as one trial.
+
+    The trial's ``scenario`` parameter is the plain-dict spec the
+    scenario runner understands; ``topology`` picks the network
+    (testbed / backbone / waxman).  This is the bridge between the
+    scenario DSL and the sweep grid: any scenario file can be swept
+    over seeds and topologies.
+    """
+    params = trial.params
+    scenario = Scenario.from_dict(params["scenario"])
+    net = _build_topology(trial)
+    result = run_scenario(net, scenario)
+    report = result.availability_report()
+    availabilities = [report[key] for key in sorted(report)]
+    return TrialResult(
+        values={
+            "connections": len(result.connections),
+            "up": sum(
+                1
+                for conn in result.connections
+                if conn.state is ConnectionState.UP
+            ),
+            "errors": len(result.errors),
+            "mean_availability": (
+                statistics.fmean(availabilities) if availabilities else 1.0
+            ),
+            "min_availability": min(availabilities) if availabilities else 1.0,
+        },
+        samples={"availability": availabilities},
+        metrics=net.metrics.state(),
+    )
+
+
+#: Study registry for JSON specs and the CLI.
+STUDIES: Dict[str, Callable[[TrialSpec], TrialResult]] = {
+    "availability": availability_trial,
+    "scaling": scaling_trial,
+    "scenario": scenario_trial,
+}
+
+
+def resolve_study(name: str) -> Callable[[TrialSpec], TrialResult]:
+    """Look up a registered study runner by name."""
+    try:
+        return STUDIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown study {name!r} (known: {', '.join(sorted(STUDIES))})"
+        ) from None
+
+
+# -- spec factories for the repository's statistical benchmarks -------------
+
+
+def x9_availability_spec(
+    repeats: int = 1,
+    base_seed: int = 901,
+    horizon_s: float = 28 * DAY,
+    mtbf_s: float = 2 * DAY,
+    mean_repair_s: float = 6 * HOUR,
+    fixed: Mapping[str, Any] = (),
+) -> SweepSpec:
+    """The x9 study: availability with vs without automated restoration."""
+    merged: Dict[str, Any] = {
+        "horizon_s": horizon_s,
+        "mtbf_s": mtbf_s,
+        "mean_repair_s": mean_repair_s,
+    }
+    merged.update(dict(fixed))
+    return SweepSpec(
+        name="x9-availability",
+        runner=availability_trial,
+        axes={"auto_restore": (True, False)},
+        fixed=merged,
+        repeats=repeats,
+        base_seed=base_seed,
+    )
+
+
+def x10_scaling_spec(
+    node_counts: Sequence[int] = (8, 16, 32),
+    repeats: int = 1,
+    base_seed: int = 950,
+    orders: int = 12,
+) -> SweepSpec:
+    """The x10 study: establishment time / blocking vs network scale."""
+    return SweepSpec(
+        name="x10-scaling",
+        runner=scaling_trial,
+        axes={"node_count": tuple(node_counts)},
+        fixed={"orders": orders},
+        repeats=repeats,
+        base_seed=base_seed,
+    )

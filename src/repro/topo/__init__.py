@@ -4,8 +4,11 @@
 * :mod:`repro.topo.testbed` — the paper's Fig. 4 laboratory testbed.
 * :mod:`repro.topo.backbone` — a synthetic US inter-city backbone used for
   the scaling/planning experiments that the 4-node testbed is too small for.
+* :mod:`repro.topo.builders` — premises-attach and equipment-install
+  helpers shared by the benchmarks and the sweep engine's factories.
 """
 
+from repro.topo.builders import attach_premises, install_pop_equipment
 from repro.topo.graph import Link, NetworkGraph, Node
 from repro.topo.testbed import (
     TESTBED_PREMISES,
@@ -15,6 +18,8 @@ from repro.topo.testbed import (
 from repro.topo.backbone import BACKBONE_CITIES, build_backbone_graph
 
 __all__ = [
+    "attach_premises",
+    "install_pop_equipment",
     "Link",
     "NetworkGraph",
     "Node",

@@ -1,0 +1,94 @@
+"""Reusable topology assembly helpers.
+
+The scaling benchmarks and the sweep engine's topology factories all
+need the same two steps after generating a core graph: attach a
+customer-premises node to every PoP, and install a standard equipment
+complement at each site.  Those steps used to be copy-pasted per
+benchmark; they live here now so every experiment builds networks the
+same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.topo.graph import Link, NetworkGraph, Node
+from repro.units import GBPS
+
+
+def attach_premises(
+    graph: NetworkGraph,
+    pops: Optional[Iterable[str]] = None,
+    prefix: str = "DC-",
+    length_km: float = 20.0,
+) -> List[str]:
+    """Attach one customer-premises node per core PoP.
+
+    Each premises is named ``f"{prefix}{pop}"``, connected to its PoP by
+    a single access link tagged with its own SRLG (access links are
+    intentionally single-homed, mirroring the synthetic backbone).
+
+    Args:
+        graph: The core graph to extend (mutated in place).
+        pops: PoPs to attach premises to; default is every node already
+            in the graph.
+        prefix: Premises-name prefix.
+        length_km: Access-link length.
+
+    Returns:
+        The premises names, in PoP order.
+    """
+    if pops is None:
+        pops = [node.name for node in graph.nodes]
+    premises_names = []
+    for pop in pops:
+        premises = f"{prefix}{pop}"
+        graph.add_node(Node(premises, kind="premises"))
+        graph.add_link(
+            Link(
+                premises,
+                pop,
+                length_km=length_km,
+                srlgs=frozenset({f"srlg:access:{premises}"}),
+            )
+        )
+        premises_names.append(premises)
+    return premises_names
+
+
+def install_pop_equipment(
+    inventory,
+    pops: Iterable[str],
+    premises: Iterable[str] = (),
+    add_drop_ports: int = 16,
+    transponders_10g: int = 6,
+    regens_10g: int = 4,
+    fxc_ports: int = 32,
+    nte_interfaces: int = 8,
+    premises_fxc_ports: int = 16,
+    with_otn: bool = False,
+    otn_client_ports: int = 32,
+) -> None:
+    """Install the standard per-site equipment complement.
+
+    Every core PoP gets a ROADM, a 10G transponder pool, regens, and an
+    FXC (plus an OTN switch when ``with_otn``); every premises gets an
+    NTE homed on its PoP (derived from the :func:`attach_premises`
+    naming, i.e. the premises' single neighbor) and a client-side FXC.
+    """
+    for pop in pops:
+        inventory.install_roadm(pop, add_drop_ports=add_drop_ports)
+        inventory.install_transponders(pop, 10 * GBPS, transponders_10g)
+        inventory.install_regens(pop, 10 * GBPS, regens_10g)
+        inventory.install_fxc(pop, port_count=fxc_ports)
+        if with_otn:
+            inventory.install_otn_switch(pop, client_ports=otn_client_ports)
+    for name in premises:
+        neighbors = list(inventory.graph.neighbors(name))
+        if len(neighbors) != 1:
+            raise ValueError(
+                f"premises {name!r} must have exactly one access link, "
+                f"has {len(neighbors)}"
+            )
+        inventory.install_nte(name, neighbors[0], interface_count=nte_interfaces)
+        inventory.install_fxc(name, port_count=premises_fxc_ports)

@@ -86,3 +86,46 @@ class TestCommands:
         main(["--seed", "2", "quickstart"])
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestSweepCommand:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "x9"])
+        assert args.study == "x9"
+        assert args.jobs == 1
+        assert args.repeats == 4
+        assert args.json is None
+
+    def test_sweep_x9_writes_aggregate(self, capsys, tmp_path):
+        out_json = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "x9", "--repeats", "1", "--json", str(out_json)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep x9-availability" in out
+        assert "auto_restore=True" in out
+        import json
+
+        aggregate = json.loads(out_json.read_text())
+        assert aggregate["trial_count"] == 2
+        assert not any(t["error"] for t in aggregate["trials"])
+
+    def test_sweep_json_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "mini",
+                    "study": "availability",
+                    "axes": {"auto_restore": [True]},
+                    "fixed": {"horizon_s": 86400.0},
+                    "repeats": 2,
+                    "base_seed": 5,
+                }
+            )
+        )
+        assert main(["sweep", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep mini: 2 trial(s)" in out

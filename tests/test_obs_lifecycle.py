@@ -219,3 +219,75 @@ class TestDisabledTracing:
         snap = net.metrics.snapshot()
         assert snap["gauges"]["rwa.route_cache.size"] >= 1
         assert 0.0 <= snap["gauges"]["rwa.route_cache.hit_rate"] <= 1.0
+
+    def test_gauges_degrade_without_route_cache(self, net):
+        from repro.core.rwa import RwaEngine
+
+        # Swap in an engine built with the cache disabled (as a sweep
+        # worker might); the registered gauges read through the live
+        # controller, so they must degrade instead of raising.
+        net.controller.rwa = RwaEngine(net.inventory, route_cache_size=0)
+        snap = net.metrics.snapshot()
+        assert snap["gauges"]["rwa.route_cache.hit_rate"] is None
+        assert snap["gauges"]["rwa.route_cache.size"] == 0
+
+
+class TestRegistryMerge:
+    def test_state_is_lossless_and_gauge_free(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.inc("orders", 3)
+        registry.observe("setup_s", 61.0)
+        registry.observe("setup_s", 67.0)
+        registry.register_gauge("live", lambda: 1)
+        state = registry.state()
+        assert state == {
+            "counters": {"orders": 3.0},
+            "samples": {"setup_s": [61.0, 67.0]},
+        }
+
+    def test_merge_sums_counters_and_pools_samples(self):
+        from repro.obs.registry import MetricsRegistry
+
+        a = MetricsRegistry()
+        a.inc("orders", 2)
+        a.observe("setup_s", 60.0)
+        b = MetricsRegistry()
+        b.inc("orders", 3)
+        b.inc("blocked")
+        b.observe("setup_s", 70.0)
+        b.observe("repair_s", 5.0)
+
+        a.merge(b)
+        assert a.counter("orders") == 5.0
+        assert a.counter("blocked") == 1.0
+        assert a.samples("setup_s") == [60.0, 70.0]
+        # Summaries of the merged registry equal summaries of the
+        # pooled raw samples — nothing was pre-aggregated away.
+        assert a.summary("setup_s").mean == 65.0
+
+    def test_merge_accepts_state_dicts(self):
+        from repro.obs.registry import MetricsRegistry
+
+        merged = MetricsRegistry()
+        for _ in range(3):
+            worker = MetricsRegistry()
+            worker.inc("trials")
+            worker.observe("draw", 0.5)
+            merged.merge(worker.state())
+        assert merged.counter("trials") == 3.0
+        assert len(merged.samples("draw")) == 3
+
+    def test_merge_round_trips_through_snapshot_shape(self):
+        from repro.obs.registry import MetricsRegistry
+
+        worker = MetricsRegistry()
+        worker.inc("connection.up", 4)
+        worker.observe("setup_s", 62.0)
+        merged = MetricsRegistry()
+        merged.merge(worker.state())
+        snap = merged.snapshot()
+        assert snap["counters"] == {"connection.up": 4.0}
+        assert snap["histograms"]["setup_s"]["count"] == 1
+        assert snap["gauges"] == {}

@@ -181,6 +181,158 @@ class TestCancellation:
         assert fired == []
 
 
+class TestScheduleMany:
+    def test_batch_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many(
+            [
+                (3.0, fired.append, ("late",)),
+                (1.0, fired.append, ("early",)),
+                (2.0, fired.append, ("middle",)),
+            ]
+        )
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_entry_arities(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many(
+            [
+                (1.0, lambda: fired.append("bare")),
+                (2.0, fired.append, ("with-args",)),
+                (3.0, fired.append, ("labeled",), "my-label"),
+            ]
+        )
+        sim.enable_trace()
+        sim.run()
+        assert fired == ["bare", "with-args", "labeled"]
+        assert sim.trace == [(3.0, "my-label")]
+
+    def test_fifo_matches_schedule_at(self):
+        def run_with(batch):
+            sim = Simulator()
+            order = []
+            sim.schedule_at(5.0, order.append, "before")
+            if batch:
+                sim.schedule_many(
+                    [(5.0, order.append, (i,)) for i in range(20)]
+                )
+            else:
+                for i in range(20):
+                    sim.schedule_at(5.0, order.append, i)
+            sim.schedule_at(5.0, order.append, "after")
+            sim.run()
+            return order
+
+        assert run_with(batch=True) == run_with(batch=False)
+
+    def test_large_batch_uses_heapify_path_and_stays_sorted(self):
+        sim = Simulator()
+        times = []
+
+        def record():
+            times.append(sim.now)
+
+        sim.schedule_many([(float((i * 7919) % 500), record) for i in range(200)])
+        sim.schedule_many([(float((i * 104729) % 500), record) for i in range(200)])
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == 400
+
+    def test_past_time_rejected_atomically(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(20.0, lambda: None), (5.0, lambda: None)])
+        assert sim.pending == 0
+        assert sim.run() == 0
+
+    def test_empty_batch(self):
+        sim = Simulator()
+        assert sim.schedule_many([]) == []
+        assert sim.pending == 0
+
+    def test_batch_events_are_cancelable(self):
+        sim = Simulator()
+        fired = []
+        events = sim.schedule_many(
+            [(float(i), fired.append, (i,)) for i in range(1, 11)]
+        )
+        events[4].cancel()
+        sim.run()
+        assert 5 not in fired
+        assert len(fired) == 9
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+        for event in events[100:]:
+            event.cancel()
+        # Compaction triggered: the dead majority is gone from the heap
+        # (at most a sub-threshold remainder of canceled events linger).
+        assert len(sim._heap) < 250
+        assert sim.pending == 100
+        assert sim.run() == 100
+
+    def test_small_heaps_never_compact(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for event in events[1:]:
+            event.cancel()
+        assert len(sim._heap) == 20  # under the compaction floor
+        assert sim.run() == 1
+
+    def test_compaction_during_run_from_callback(self):
+        sim = Simulator()
+        fired = []
+        victims = [
+            sim.schedule(100.0 + i, fired.append, i) for i in range(500)
+        ]
+
+        def massacre():
+            for victim in victims[:400]:
+                victim.cancel()
+
+        sim.schedule(1.0, massacre)
+        survivor = sim.schedule(1000.0, fired.append, "survivor")
+        assert survivor is not None
+        sim.run()
+        assert fired[-1] == "survivor"
+        assert len(fired) == 101  # 100 surviving victims + survivor
+        assert sim.pending == 0
+
+    def test_counter_consistent_after_mixed_pop_and_compact(self):
+        sim = Simulator()
+        keep = []
+        events = [sim.schedule(float(i + 1), keep.append, i) for i in range(200)]
+        # Cancel a minority: below the >50% threshold, so they stay in
+        # the heap and run() pops them lazily.
+        for event in events[::4]:
+            event.cancel()
+        assert sim.run() == 150
+        assert sim._canceled_in_heap == 0
+
+
+class TestTimeSource:
+    def test_same_closure_every_call(self):
+        sim = Simulator()
+        assert sim.time_source() is sim.time_source()
+
+    def test_tracks_clock(self):
+        sim = Simulator()
+        clock = sim.time_source()
+        assert clock() == 0.0
+        sim.schedule(9.0, lambda: None)
+        sim.run()
+        assert clock() == 9.0
+
+    def test_distinct_per_simulator(self):
+        assert Simulator().time_source() is not Simulator().time_source()
+
+
 class TestTracing:
     def test_trace_records_labeled_events(self):
         sim = Simulator()

@@ -95,6 +95,55 @@ class TestPoissonArrivals:
         with pytest.raises(ConfigurationError):
             PoissonArrivals(sim, RandomStreams(0), print, rate_per_s=-1)
 
+    def test_pregenerate_requires_stop_at(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(
+                Simulator(),
+                RandomStreams(0),
+                print,
+                rate_per_s=1.0,
+                pregenerate=True,
+            )
+
+    def test_pregenerate_matches_incremental_constant_rate(self):
+        def arrivals(pregenerate):
+            sim = Simulator()
+            hits = []
+            PoissonArrivals(
+                sim,
+                RandomStreams(7),
+                lambda t: hits.append(t),
+                rate_per_s=2.0,
+                stop_at=500.0,
+                pregenerate=pregenerate,
+            )
+            sim.run()
+            return hits
+
+        batched = arrivals(True)
+        assert batched == arrivals(False)
+        assert len(batched) > 800
+
+    def test_pregenerate_matches_incremental_thinned(self):
+        profile = DiurnalProfile(base=0.5, amplitude=0.5)
+
+        def arrivals(pregenerate):
+            sim = Simulator()
+            hits = []
+            PoissonArrivals(
+                sim,
+                RandomStreams(8),
+                lambda t: hits.append(t),
+                rate_fn=profile.rate,
+                max_rate=profile.peak(),
+                stop_at=2000.0,
+                pregenerate=pregenerate,
+            )
+            sim.run()
+            return hits
+
+        assert arrivals(True) == arrivals(False)
+
 
 class TestInteractiveDemand:
     def test_hourly_series_length(self):

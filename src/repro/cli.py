@@ -210,12 +210,82 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     for label, means in result.grouped_values().items():
         parts = ", ".join(f"{k}={v:.6g}" for k, v in sorted(means.items()))
         print(f"  {label}: {parts}")
+    if result.failed:
+        first = result.failed[0]
+        print(f"  first error: {first.trial_id}: {first.error}")
     for failure in result.failed:
         print(f"  FAILED {failure.trial_id}: {failure.error}")
     if args.json:
         Path(args.json).write_text(result.to_json())
         print(f"wrote aggregate to {args.json}")
     return 1 if result.failed else 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a fault-injection scenario and audit for resource leaks."""
+    from repro.faults import FaultPlan, FaultSpec, audit_network
+
+    if args.plan:
+        plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
+    else:
+        plan = FaultPlan()
+        for mode in args.modes.split(","):
+            plan.add(FaultSpec(mode=mode.strip(), probability=args.rate))
+    net = build_griphon_testbed(seed=args.seed, fault_plan=plan)
+    service = net.service_for("chaos-demo")
+    pairs = [
+        ("PREMISES-A", "PREMISES-B"),
+        ("PREMISES-A", "PREMISES-C"),
+        ("PREMISES-B", "PREMISES-C"),
+    ]
+    rates = (10, 12, 1)
+    connections = []
+    for index in range(args.orders):
+        a, b = pairs[index % len(pairs)]
+        connections.append(
+            service.request_connection(a, b, rates[index % len(rates)])
+        )
+    net.run()
+    print(f"chaos: {args.orders} order(s), plan={plan!r}")
+    for conn in connections:
+        line = f"  {conn.connection_id}: {conn.state.value}"
+        outcome = service.setup_outcome(conn.connection_id)
+        if outcome is not None:
+            line += f"  [{outcome}]"
+        print(line)
+    counters = net.metrics.counters()
+    for name in sorted(counters):
+        if name.startswith(("ems.retry", "ems.breaker", "faults.")):
+            print(f"  {name} = {counters[name]}")
+    mid_report = audit_network(net.controller)
+    print(f"  mid-run {mid_report.summary()}")
+    # Tear everything down; a clean network must audit with zero residue.
+    teardown_states = {"up", "degraded", "failed", "restoring"}
+    for conn in connections:
+        if conn.state.value in teardown_states:
+            service.teardown_connection(conn.connection_id)
+    net.run()
+    final_report = audit_network(net.controller)
+    print(f"  final {final_report.summary()}")
+    for violation in mid_report.violations + final_report.violations:
+        print(f"    {violation}")
+    if args.json:
+        payload = {
+            "orders": args.orders,
+            "states": {
+                c.connection_id: c.state.value for c in connections
+            },
+            "injected": plan.injected_counts,
+            "mid_audit_ok": mid_report.ok,
+            "final_audit_ok": final_report.ok,
+            "violations": [
+                str(v)
+                for v in mid_report.violations + final_report.violations
+            ],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote chaos report to {args.json}")
+    return 0 if mid_report.ok and final_report.ok else 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -281,6 +351,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the deterministic aggregate JSON to PATH",
     )
     sweep.set_defaults(func=cmd_sweep)
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject EMS faults into a batch of orders and audit for leaks",
+    )
+    chaos.add_argument(
+        "--orders", type=int, default=9, help="orders to place (default 9)"
+    )
+    chaos.add_argument(
+        "--rate",
+        type=float,
+        default=0.15,
+        help="per-command fault probability (default 0.15)",
+    )
+    chaos.add_argument(
+        "--modes",
+        default="transient,timeout",
+        help="comma-separated fault modes (default transient,timeout)",
+    )
+    chaos.add_argument(
+        "--plan",
+        default=None,
+        help="JSON file with a full FaultPlan (overrides --rate/--modes)",
+    )
+    chaos.add_argument(
+        "--json", default=None, help="write the chaos report to this file"
+    )
+    chaos.set_defaults(func=cmd_chaos)
     sub.add_parser(
         "operator", help="print the carrier operator network view"
     ).set_defaults(func=cmd_operator)

@@ -41,7 +41,12 @@ from repro.core.reclamation import OtnLineReclaimer
 from repro.core.regrooming import RegroomingEngine
 from repro.core.routecache import RouteCache
 from repro.core.rwa import RwaEngine, RwaPlan
-from repro.core.service import BodService
+from repro.core.service import (
+    BodService,
+    FaultReport,
+    ServiceDegraded,
+    SetupFailed,
+)
 
 __all__ = [
     "AdmissionControl",
@@ -63,4 +68,7 @@ __all__ = [
     "RwaEngine",
     "RwaPlan",
     "BodService",
+    "FaultReport",
+    "ServiceDegraded",
+    "SetupFailed",
 ]

@@ -47,6 +47,7 @@ _ALLOWED = {
     },
     ConnectionState.SETTING_UP: {
         ConnectionState.UP,
+        ConnectionState.DEGRADED,
         ConnectionState.BLOCKED,
     },
     ConnectionState.UP: {
@@ -121,6 +122,9 @@ class Connection:
     otn_client_ports: List[tuple] = field(default_factory=list)
     #: Trace id of the order's root span (None when tracing is off).
     trace_id: Optional[str] = None
+    #: The EquipmentError that aborted (part of) setup; None on the
+    #: happy path.  Set alongside DEGRADED / setup-failed BLOCKED.
+    setup_error: Optional[Exception] = None
 
     @property
     def setup_duration(self) -> Optional[float]:

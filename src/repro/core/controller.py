@@ -30,9 +30,12 @@ from repro.core.rwa import RwaEngine
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
+    EquipmentError,
     GriphonError,
     ResourceError,
 )
+from repro.faults.plan import FaultPlan
+from repro.faults.resilient import ResilientExecutor, RetryPolicy
 from repro.ems.fxc_ctl import FxcController
 from repro.ems.latency import LatencyModel
 from repro.ems.nte_ctl import NteController
@@ -97,6 +100,8 @@ class GriphonController:
         auto_restore: bool = True,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.sim = sim
         self.inventory = inventory
@@ -119,6 +124,18 @@ class GriphonController:
         self.otn_ems = OtnEms(
             inventory.otn_switches, self.latency, metrics=self.metrics
         )
+        #: Every EMS command runs through the resilient executor: the
+        #: fault plan decides what breaks, the policy how hard we retry.
+        #: With the default empty plan this is a zero-cost passthrough.
+        plan = fault_plan if fault_plan is not None else FaultPlan()
+        self.fault_plan = plan.bind(streams)
+        self.resilience = ResilientExecutor(
+            self.fault_plan,
+            retry_policy if retry_policy is not None else RetryPolicy(),
+            streams=streams.spawn("resilient"),
+            clock=sim.time_source(),
+            metrics=self.metrics,
+        )
         self.rwa = RwaEngine(
             inventory,
             reach=reach,
@@ -134,6 +151,7 @@ class GriphonController:
             parallel_ems=parallel_ems,
             tracer=self.tracer,
             metrics=self.metrics,
+            resilience=self.resilience,
         )
         self.protection = SharedMeshProtection(metrics=self.metrics)
         # The gauges read the engine's cache at sample time (not a
@@ -346,6 +364,92 @@ class GriphonController:
             connection.end_outage(self.sim.now)
             self._notify("revived", {"connection": connection})
 
+    def fail_transponder(self, ot_id: str) -> None:
+        """Fail a transponder card; the lightpath holding it goes dark.
+
+        The failed card stays allocated to its lightpath (the slot is
+        not reusable until :meth:`repair_transponder`), but restoration
+        re-provisions onto a healthy card when one is free.
+        """
+        node = ot_id.split(":")[1]
+        ot = self.inventory.transponders[node].get(ot_id)
+        owner = ot.fail()
+        self.tracer.event("failure.transponder", ot=ot_id)
+        self.metrics.inc("failure.transponder")
+        self._notify("transponder-failed", {"ot_id": ot_id, "owner": owner})
+        if owner is None:
+            return
+        lightpath = self.inventory.lightpaths.get(owner)
+        if lightpath is None or lightpath.state is not LightpathState.UP:
+            return
+        lightpath.transition(LightpathState.FAILED)
+        conn_id = self._lightpath_conn.get(owner)
+        if conn_id is not None:
+            self._fail_connection_component(self.connection(conn_id))
+        for line_id, lp_id in list(self._line_lightpath.items()):
+            if lp_id == owner:
+                self._fail_otn_line(line_id)
+        if self.auto_restore:
+            for connection in list(self.connections.values()):
+                if connection.state is ConnectionState.FAILED:
+                    self._attempt_restoration(connection)
+
+    def repair_transponder(self, ot_id: str) -> None:
+        """Replace a failed transponder card; it is allocatable again."""
+        node = ot_id.split(":")[1]
+        self.inventory.transponders[node].get(ot_id).repair()
+
+    def fail_amplifier(self, a: str, b: str) -> None:
+        """Fail an amplifier on span a-b: the whole span goes dark.
+
+        Optically equivalent to a fiber cut on that span (every channel
+        through the dead amplifier is lost), so the fiber-cut machinery
+        handles localization and restoration.
+        """
+        self.tracer.event("failure.amplifier", link=f"{a}={b}")
+        self.metrics.inc("failure.amplifier")
+        self._notify("amplifier-failed", {"link": (a, b)})
+        self.cut_link(a, b)
+
+    def repair_amplifier(self, a: str, b: str) -> None:
+        """Replace the failed amplifier; the span carries traffic again."""
+        self.repair_link(a, b)
+
+    def fail_otn_switch(self, node: str) -> None:
+        """Fail the OTN switch fabric at a node.
+
+        Every line terminating there fails; circuits riding those lines
+        mesh-restore around the dead switch where shared capacity allows.
+
+        Raises:
+            EquipmentError: if no OTN switch is installed at ``node``.
+        """
+        switch = self.inventory.otn_switches.get(node)
+        if switch is None:
+            raise EquipmentError(
+                f"no OTN switch at {node!r}", site=node, element=node
+            )
+        self.tracer.event("failure.otn_switch", node=node)
+        self.metrics.inc("failure.otn_switch")
+        self._notify("otn-switch-failed", {"node": node})
+        for line in switch.lines:
+            self._fail_otn_line(line.line_id)
+
+    def repair_otn_switch(self, node: str) -> None:
+        """Repair the switch fabric; its failed lines come back.
+
+        Raises:
+            EquipmentError: if no OTN switch is installed at ``node``.
+        """
+        switch = self.inventory.otn_switches.get(node)
+        if switch is None:
+            raise EquipmentError(
+                f"no OTN switch at {node!r}", site=node, element=node
+            )
+        for line in switch.lines:
+            if line.failed:
+                line.repair()
+
     # -- bridge-and-roll ------------------------------------------------------------
 
     def bridge_and_roll(
@@ -419,6 +523,12 @@ class GriphonController:
                 "connection.request", connection=connection.connection_id
             )
         connection.transition(ConnectionState.SETTING_UP)
+        # Original component positions — needed to map an aborted
+        # component back to the NTE/FXC claims made for it.
+        lp_order = {lp.lightpath_id: i for i, lp in enumerate(lightpaths)}
+        ckt_order = {ckt.circuit_id: i for i, ckt in enumerate(circuits)}
+        aborted_lightpaths: List[Lightpath] = []
+        failed_circuits: List[Tuple] = []
         with span.child("connection.setup") as setup_span:
             for _ in connection.evc_ids:
                 with setup_span.child("ip.evc"):
@@ -430,21 +540,29 @@ class GriphonController:
                 yield from self.provisioner.setup_workflow(
                     lightpath, include_fxc=False, parent_span=setup_span
                 )
+                if lightpath.state is LightpathState.RELEASED:
+                    self._abort_line_lightpath(lightpath)
             for lightpath in lightpaths:
                 yield from self.provisioner.setup_workflow(
                     lightpath, parent_span=setup_span
                 )
+                if lightpath.state is LightpathState.RELEASED:
+                    # The provisioning saga rolled this one back.
+                    aborted_lightpaths.append(lightpath)
             for circuit in circuits:
-                with setup_span.child(
-                    "otn.circuit.setup", circuit=circuit.circuit_id
-                ):
-                    circuit.transition(OduCircuitState.SETTING_UP)
-                    circuit.setup_started_at = self.sim.now
-                    yield self.latency.sample("controller.order")
-                    for _ in circuit.line_ids:
-                        yield self.latency.sample("otn.crossconnect")
-                    circuit.transition(OduCircuitState.UP)
-                    circuit.up_at = self.sim.now
+                yield from self._circuit_setup_workflow(
+                    circuit, setup_span, failed_circuits
+                )
+        if aborted_lightpaths or failed_circuits:
+            self._settle_partial_setup(
+                connection,
+                aborted_lightpaths,
+                failed_circuits,
+                lp_order,
+                ckt_order,
+                span,
+            )
+            return
         connection.transition(ConnectionState.UP)
         connection.up_at = self.sim.now
         failed_setup = any(
@@ -463,6 +581,234 @@ class GriphonController:
         if connection.setup_duration is not None:
             self.metrics.observe("connection.setup_s", connection.setup_duration)
         self._notify("up", {"connection": connection})
+
+    def _circuit_setup_workflow(self, circuit, setup_span, failed_circuits):
+        """Program one ODU circuit's cross-connects, saga-style.
+
+        A cross-connect that fails for good (or a working line that died
+        while earlier components were setting up) aborts the circuit:
+        the programmed cross-connects are removed and the circuit's line
+        slots released.  The (circuit, error) pair lands in
+        ``failed_circuits`` for the caller to settle.
+        """
+        with setup_span.child(
+            "otn.circuit.setup", circuit=circuit.circuit_id
+        ) as ckt_span:
+            circuit.transition(OduCircuitState.SETTING_UP)
+            circuit.setup_started_at = self.sim.now
+            yield self.latency.sample("controller.order")
+            programmed = 0
+            error = None
+            for line_id in circuit.line_ids:
+                duration = self.latency.sample("otn.crossconnect")
+                try:
+                    yield from self.resilience.execute(
+                        "otn_ems",
+                        line_id,
+                        "crossconnect",
+                        duration,
+                        parent_span=ckt_span,
+                    )
+                except EquipmentError as exc:
+                    error = exc
+                    break
+                programmed += 1
+            dead_lines = []
+            for line_id in circuit.line_ids:
+                line = self.inventory.otn_lines.get(line_id)
+                if line is not None and line.failed:
+                    dead_lines.append(line_id)
+            if error is None and dead_lines:
+                error = EquipmentError(
+                    f"OTN line {dead_lines[0]} failed during setup",
+                    site=dead_lines[0],
+                    element=dead_lines[0],
+                    command="crossconnect",
+                )
+            if error is not None:
+                # Compensate: remove what was programmed, free the slots.
+                with ckt_span.child("otn.circuit.rollback", reason=str(error)):
+                    for _ in range(programmed):
+                        yield self.latency.sample("otn.crossconnect.remove")
+                circuit.transition(OduCircuitState.RELEASED)
+                self.grooming.release_circuit(circuit)
+                failed_circuits.append((circuit, error))
+                ckt_span.set_tag("outcome", "aborted")
+                self.metrics.inc("otn.circuit.setup_aborted")
+            else:
+                circuit.transition(OduCircuitState.UP)
+                circuit.up_at = self.sim.now
+
+    def _settle_partial_setup(
+        self,
+        connection,
+        aborted_lightpaths,
+        failed_circuits,
+        lp_order,
+        ckt_order,
+        span,
+    ) -> None:
+        """Decide DEGRADED vs BLOCKED after components aborted mid-setup.
+
+        Aborted components are dropped (their NTE interfaces and FXC
+        steering released) in descending claim position so the
+        positional bookkeeping of the survivors stays valid.  If any
+        component made it up the connection enters service DEGRADED;
+        if none did, every remaining claim is unwound and the order is
+        BLOCKED — zero residue, exactly like a claim-time block.
+        """
+        for lightpath in sorted(
+            aborted_lightpaths,
+            key=lambda lp: lp_order[lp.lightpath_id],
+            reverse=True,
+        ):
+            self._drop_aborted_lightpath(
+                connection, lightpath, lp_order[lightpath.lightpath_id]
+            )
+        for circuit, _error in sorted(
+            failed_circuits,
+            key=lambda item: ckt_order[item[0].circuit_id],
+            reverse=True,
+        ):
+            self._drop_aborted_circuit(
+                connection, circuit, ckt_order[circuit.circuit_id]
+            )
+        if aborted_lightpaths:
+            connection.setup_error = aborted_lightpaths[0].setup_error
+        else:
+            connection.setup_error = failed_circuits[0][1]
+        survivors = bool(
+            connection.lightpath_ids
+            or connection.circuit_ids
+            or connection.evc_ids
+        )
+        if survivors:
+            connection.transition(ConnectionState.DEGRADED)
+            connection.up_at = self.sim.now
+            span.set_tag("outcome", "degraded").finish()
+            self.metrics.inc("connection.setup_degraded")
+            self._notify("setup-degraded", {"connection": connection})
+        else:
+            self._release_nte_claims(
+                connection.nte_interfaces, connection.connection_id
+            )
+            connection.nte_interfaces = []
+            self._release_steering(connection)
+            self.admission.release(connection.customer, connection.rate_bps)
+            connection.blocked_reason = f"setup failed: {connection.setup_error}"
+            connection.transition(ConnectionState.BLOCKED)
+            span.set_tag("outcome", "setup-failed").finish()
+            self.metrics.inc("connection.setup_failed")
+            self._notify("setup-failed", {"connection": connection})
+
+    def _drop_aborted_lightpath(self, connection, lightpath, position) -> None:
+        """Remove one rolled-back lightpath from a connection's claims."""
+        owner = connection.connection_id
+        lp_id = lightpath.lightpath_id
+        if lp_id in connection.lightpath_ids:
+            connection.lightpath_ids.remove(lp_id)
+        self._lightpath_conn.pop(lp_id, None)
+        for ot_id in lightpath.ot_ids:
+            site = ot_id.split(":")[1]
+            fxc = self.inventory.fxcs.get(site)
+            if fxc is None:
+                continue
+            try:
+                port = fxc.find_port(ot_id)
+            except GriphonError:
+                continue
+            peer = fxc.peer_of(port)
+            fxc.disconnect(port, owner)
+            fxc.label_port(port, "")
+            if peer is not None:
+                fxc.label_port(peer, "")
+            dropped = {port, peer}
+            connection.fxc_ports = [
+                (s, p)
+                for s, p in connection.fxc_ports
+                if not (s == site and p in dropped)
+            ]
+        self._release_positional_nte(connection, "wave", position)
+
+    def _drop_aborted_circuit(self, connection, circuit, position) -> None:
+        """Remove one aborted ODU circuit from a connection's claims."""
+        owner = connection.connection_id
+        if circuit.circuit_id in connection.circuit_ids:
+            connection.circuit_ids.remove(circuit.circuit_id)
+        # Each circuit claimed one client port per end PoP, in order.
+        ports = connection.otn_client_ports[2 * position : 2 * position + 2]
+        for node, port in ports:
+            switch = self.inventory.otn_switches.get(node)
+            if switch is not None:
+                try:
+                    switch.release_client_port(port, owner)
+                except GriphonError:
+                    pass  # already released
+            fxc = self.inventory.fxcs.get(node)
+            if fxc is None:
+                continue
+            try:
+                fxc_port = fxc.find_port(f"OTN:{node}:client{port}")
+            except GriphonError:
+                continue
+            peer = fxc.peer_of(fxc_port)
+            fxc.disconnect(fxc_port, owner)
+            fxc.label_port(fxc_port, "")
+            if peer is not None:
+                fxc.label_port(peer, "")
+            dropped = {fxc_port, peer}
+            connection.fxc_ports = [
+                (s, p)
+                for s, p in connection.fxc_ports
+                if not (s == node and p in dropped)
+            ]
+        connection.otn_client_ports = (
+            connection.otn_client_ports[: 2 * position]
+            + connection.otn_client_ports[2 * position + 2 :]
+        )
+        self._release_positional_nte(connection, "sub", position)
+
+    def _release_positional_nte(self, connection, kind, position) -> None:
+        """Release the NTE claims of the component at ``position``.
+
+        Claims of one kind were made in component order at each
+        premises, so the component's claim is the one whose per-premises
+        rank equals its position.
+        """
+        owner = connection.connection_id
+        kept = []
+        rank: Dict[str, int] = {}
+        for claim in connection.nte_interfaces:
+            if claim[0] != kind:
+                kept.append(claim)
+                continue
+            premises = claim[1]
+            seen = rank.get(premises, 0)
+            rank[premises] = seen + 1
+            if seen != position:
+                kept.append(claim)
+                continue
+            nte = self.inventory.ntes[premises]
+            if kind == "wave":
+                nte.release_interface(claim[2], owner)
+            else:
+                nte.release_subchannel(claim[2], claim[3], owner)
+        connection.nte_interfaces = kept
+
+    def _abort_line_lightpath(self, lightpath) -> None:
+        """Handle a rolled-back carrier lightpath for a new OTN line.
+
+        The line it was meant to carry becomes failed infrastructure;
+        circuits groomed onto it abort during their own setup (their
+        cross-connect programming finds the line dead).
+        """
+        lp_id = lightpath.lightpath_id
+        for line_id, mapped in list(self._line_lightpath.items()):
+            if mapped != lp_id:
+                continue
+            del self._line_lightpath[line_id]
+            self._fail_otn_line(line_id)
+        self.metrics.inc("otn.line.lightpath_aborted")
 
     def _teardown_workflow(self, connection):
         span = self.tracer.span(
@@ -528,6 +874,7 @@ class GriphonController:
         if (
             connection.state is not ConnectionState.UP
             or old.lightpath_id not in self.inventory.lightpaths
+            or bridge.state is not LightpathState.UP
         ):
             if bridge.state is LightpathState.UP:
                 yield from self.provisioner.teardown_workflow(
@@ -999,6 +1346,19 @@ class GriphonController:
         yield from self.provisioner.setup_workflow(
             replacement, include_fxc=False, parent_span=span
         )
+        if replacement.state is LightpathState.RELEASED:
+            # The resilient layer gave up mid-restore and the saga
+            # rolled the replacement back; the connection stays FAILED
+            # (no auto-retry — the same faults would hit again) until a
+            # repair event or teardown.
+            connection.setup_error = replacement.setup_error
+            connection.lightpath_ids = []
+            self._lightpath_conn.pop(replacement.lightpath_id, None)
+            connection.transition(ConnectionState.FAILED)
+            span.set_tag("outcome", "aborted").finish()
+            self.metrics.inc("restoration.aborted")
+            self._notify("restoration-aborted", {"connection": connection})
+            return
         if replacement.state is LightpathState.FAILED:
             # Another cut landed while we were restoring; try again.
             span.set_tag("outcome", "re-failed").finish()

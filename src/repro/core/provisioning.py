@@ -23,9 +23,10 @@ from typing import Callable, Generator, List, Optional, Tuple
 
 from repro.core.inventory import InventoryDatabase
 from repro.core.rwa import RwaPlan
-from repro.errors import GriphonError, TransponderUnavailableError
+from repro.errors import EquipmentError, GriphonError, TransponderUnavailableError
 from repro.ems.latency import LatencyModel
 from repro.ems.roadm_ems import RoadmEms
+from repro.faults.resilient import ResilientExecutor
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Span, Tracer
 from repro.optical.lightpath import Lightpath, LightpathState
@@ -34,6 +35,49 @@ from repro.optical.lightpath import Lightpath, LightpathState
 #: the same stage touch independent elements and may run concurrently in
 #: the parallel-EMS ablation.
 Step = Tuple[str, str, float]
+
+#: Which management system executes each workflow stage — the key the
+#: fault plan matches on and the circuit breaker partitions by.
+_STAGE_EMS = {
+    "fxc": "fxc_ctl",
+    "tune": "roadm_ems",
+    "roadm": "roadm_ems",
+    "equalize": "roadm_ems",
+    "verify": "roadm_ems",
+    "release": "roadm_ems",
+    "order": "controller",
+}
+
+
+def _step_ems(stage: str) -> str:
+    """The EMS responsible for a workflow stage."""
+    return _STAGE_EMS.get(stage, stage)
+
+
+def _step_element(stage: str, label: str) -> str:
+    """The network element a step labeled ``label`` touches."""
+    if "@" in label:
+        return label.rsplit("@", 1)[1]
+    if label.startswith(stage + " "):
+        return label[len(stage) + 1 :]
+    return label
+
+
+def _compensation_step(stage: str, label: str) -> Optional[str]:
+    """The latency-model op that undoes an executed setup step.
+
+    Stages with no hardware side effect (order, equalize, verify) need
+    no compensation and return ``None``.
+    """
+    if stage == "fxc":
+        return "fxc.disconnect"
+    if stage == "tune":
+        return "ot.release"
+    if stage == "roadm":
+        if label.startswith("express"):
+            return "roadm.express.remove"
+        return "roadm.add_drop.remove"
+    return None
 
 
 class LightpathProvisioner:
@@ -47,6 +91,7 @@ class LightpathProvisioner:
         parallel_ems: bool = False,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        resilience: Optional[ResilientExecutor] = None,
     ) -> None:
         self._inventory = inventory
         self._roadm_ems = roadm_ems
@@ -54,6 +99,7 @@ class LightpathProvisioner:
         self._parallel_ems = parallel_ems
         self._tracer = tracer if tracer is not None else Tracer()
         self._metrics = metrics
+        self._resilience = resilience
 
     # -- phase 1: claim -----------------------------------------------------------
 
@@ -237,6 +283,12 @@ class LightpathProvisioner:
         ``ems.<stage>`` children cover every timed step — by
         construction their durations sum to the workflow's end-to-end
         duration (the Table 2 per-phase breakdown).
+
+        When a resilient executor is wired in and an EMS command fails
+        for good (retries exhausted or breaker open), the workflow turns
+        into a compensating saga: every executed step is undone in
+        reverse order, every claimed resource is released, and the
+        lightpath ends RELEASED with ``setup_error`` set.
         """
         with self._tracer.span(
             "lightpath.setup",
@@ -247,10 +299,31 @@ class LightpathProvisioner:
             lightpath.transition(LightpathState.SETTING_UP)
             steps = self.setup_steps(lightpath, include_fxc)
             total = 0.0
+            executed: List[Step] = []
+            failure: Optional[EquipmentError] = None
             for stage, label, duration in self._stage_spans(steps):
-                with span.child(f"ems.{stage}", label=label):
-                    yield duration
+                with span.child(f"ems.{stage}", label=label) as step_span:
+                    if self._resilience is None:
+                        yield duration
+                    else:
+                        try:
+                            duration = yield from self._resilience.execute(
+                                _step_ems(stage),
+                                _step_element(stage, label),
+                                stage,
+                                duration,
+                                parent_span=step_span,
+                            )
+                        except EquipmentError as exc:
+                            failure = exc
+                            step_span.set_tag("outcome", "failed")
+                if failure is not None:
+                    break
+                executed.append((stage, label, duration))
                 total += duration
+            if failure is not None:
+                yield from self._compensate(lightpath, executed, span, failure)
+                return lightpath
             lightpath.transition(LightpathState.UP)
             # A fiber along the route may have been cut while the EMS
             # steps were running; end-to-end verification catches that.
@@ -266,6 +339,35 @@ class LightpathProvisioner:
             if on_up is not None:
                 on_up(lightpath)
             return lightpath
+
+    def _compensate(
+        self,
+        lightpath: Lightpath,
+        executed: List[Step],
+        span: Span,
+        failure: EquipmentError,
+    ) -> Generator[float, None, None]:
+        """Unwind the executed setup steps and free every claimed resource.
+
+        Compensation runs best-effort at teardown speed: each executed
+        step with a hardware side effect gets one undo command (no
+        retries — we are already giving up), then the claim-phase
+        bookkeeping is rolled back via :meth:`release`, leaving zero
+        residue in the inventory.
+        """
+        lightpath.setup_error = failure
+        with span.child("ems.rollback", reason=str(failure)) as rollback_span:
+            for stage, label, _duration in reversed(executed):
+                comp = _compensation_step(stage, label)
+                if comp is None:
+                    continue
+                with rollback_span.child(f"ems.{stage}.undo", label=label):
+                    yield self._latency.sample(comp)
+        lightpath.transition(LightpathState.RELEASED)
+        self.release(lightpath)
+        span.set_tag("outcome", "aborted").set_tag("error", str(failure))
+        if self._metrics is not None:
+            self._metrics.inc("lightpath.setup_aborted")
 
     def teardown_workflow(
         self,
@@ -285,8 +387,20 @@ class LightpathProvisioner:
             steps = self.teardown_steps(lightpath, include_fxc)
             total = 0.0
             for stage, label, duration in self._stage_spans(steps):
-                with span.child(f"ems.{stage}", label=label):
-                    yield duration
+                with span.child(f"ems.{stage}", label=label) as step_span:
+                    if self._resilience is None:
+                        yield duration
+                    else:
+                        # Teardown must always complete: exhausted
+                        # retries force the command rather than raise.
+                        duration = yield from self._resilience.execute(
+                            _step_ems(stage),
+                            _step_element(stage, label),
+                            stage,
+                            duration,
+                            parent_span=step_span,
+                            best_effort=True,
+                        )
                 total += duration
             lightpath.transition(LightpathState.RELEASED)
             self.release(lightpath)

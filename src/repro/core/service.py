@@ -47,6 +47,8 @@ class FaultReport:
     action: str = ""
     trace_id: Optional[str] = None
     blocked_reason: str = ""
+    failed_element: str = ""
+    failed_command: str = ""
 
     def __str__(self) -> str:
         if self.state is ConnectionState.UP:
@@ -62,12 +64,69 @@ class FaultReport:
                 f"{self.connection_id}: outage localized to [{where}]; "
                 f"{self.action}"
             )
+        if self.state is ConnectionState.DEGRADED and self.failed_element:
+            return (
+                f"{self.connection_id}: degraded - "
+                f"{self.failed_element} setup failed"
+            )
         return f"{self.connection_id}: {self.state.value}"
 
     def __contains__(self, item: str) -> bool:
         # Callers historically substring-matched the one-line report;
         # keep ``"outage" in report`` working on the typed record.
         return item in str(self)
+
+
+@dataclass(frozen=True)
+class SetupFailed:
+    """Typed outcome for an order that failed entirely during setup.
+
+    Every claimed resource was released by the compensating saga; the
+    connection record is BLOCKED with ``blocked_reason`` set.
+
+    Attributes:
+        connection_id: The failed order.
+        error: The equipment error that exhausted its retries.
+        fault: The connection's :class:`FaultReport` at reporting time.
+        trace_id: For correlating with the tracer's spans.
+    """
+
+    connection_id: str
+    error: Exception
+    fault: FaultReport
+    trace_id: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.connection_id}: setup failed - {self.error}"
+
+
+@dataclass(frozen=True)
+class ServiceDegraded:
+    """Typed outcome for an order that came up with fewer components.
+
+    Some wavelength/circuit components aborted during setup and were
+    rolled back; the survivors carry (reduced) traffic.
+
+    Attributes:
+        connection_id: The degraded connection.
+        error: The equipment error behind the first aborted component.
+        fault: The connection's :class:`FaultReport` at reporting time.
+        trace_id: For correlating with the tracer's spans.
+        up_components: How many components (lightpaths + circuits +
+            EVCs) made it into service.
+    """
+
+    connection_id: str
+    error: Exception
+    fault: FaultReport
+    trace_id: Optional[str] = None
+    up_components: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.connection_id}: degraded "
+            f"({self.up_components} component(s) up) - {self.error}"
+        )
 
 
 @dataclass(frozen=True)
@@ -215,6 +274,42 @@ class BodService:
             action=action,
             trace_id=connection.trace_id,
             blocked_reason=connection.blocked_reason,
+            failed_element=getattr(connection.setup_error, "element", "") or "",
+            failed_command=getattr(connection.setup_error, "command", "") or "",
+        )
+
+    def setup_outcome(
+        self, connection_id: str
+    ) -> Optional["SetupFailed | ServiceDegraded"]:
+        """What the resilient setup saga did to this order, if anything.
+
+        Returns ``None`` for orders that set up cleanly (or are still in
+        flight), :class:`ServiceDegraded` when some components aborted
+        but the connection carries traffic, and :class:`SetupFailed`
+        when the whole order was rolled back.
+        """
+        connection = self._own(connection_id)
+        if connection.setup_error is None:
+            return None
+        fault = self.fault_report(connection_id)
+        if connection.state is ConnectionState.DEGRADED:
+            up_components = (
+                len(connection.lightpath_ids)
+                + len(connection.circuit_ids)
+                + len(connection.evc_ids)
+            )
+            return ServiceDegraded(
+                connection_id=connection.connection_id,
+                error=connection.setup_error,
+                fault=fault,
+                trace_id=connection.trace_id,
+                up_components=up_components,
+            )
+        return SetupFailed(
+            connection_id=connection.connection_id,
+            error=connection.setup_error,
+            fault=fault,
+            trace_id=connection.trace_id,
         )
 
     def usage(self) -> Usage:

@@ -36,7 +36,12 @@ class FxcController:
         try:
             return self._fxcs[site]
         except KeyError:
-            raise EquipmentError(f"no FXC managed at site {site!r}") from None
+            raise EquipmentError(
+                f"no FXC managed at site {site!r}",
+                site=site,
+                element=f"fxc@{site}",
+                command="lookup",
+            ) from None
 
     def connect(self, site: str, port_a: int, port_b: int, owner: str) -> float:
         """Cross-connect two ports; returns the step duration."""

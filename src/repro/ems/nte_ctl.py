@@ -36,7 +36,12 @@ class NteController:
         try:
             return self._ntes[premises]
         except KeyError:
-            raise EquipmentError(f"no NTE managed at {premises!r}") from None
+            raise EquipmentError(
+                f"no NTE managed at {premises!r}",
+                site=premises,
+                element=f"nte@{premises}",
+                command="lookup",
+            ) from None
 
     def configure_interface(
         self, premises: str, owner: str, channelized: bool

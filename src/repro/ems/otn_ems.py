@@ -37,7 +37,12 @@ class OtnEms:
         try:
             return self._switches[node]
         except KeyError:
-            raise EquipmentError(f"no OTN switch managed at {node!r}") from None
+            raise EquipmentError(
+                f"no OTN switch managed at {node!r}",
+                site=node,
+                element=f"otn@{node}",
+                command="lookup",
+            ) from None
 
     def nodes(self) -> List[str]:
         """All nodes with a managed OTN switch."""

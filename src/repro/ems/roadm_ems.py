@@ -50,7 +50,12 @@ class RoadmEms:
         try:
             return self._roadms[name]
         except KeyError:
-            raise EquipmentError(f"EMS manages no ROADM named {name!r}") from None
+            raise EquipmentError(
+                f"EMS manages no ROADM named {name!r}",
+                site=name,
+                element=f"roadm@{name}",
+                command="lookup",
+            ) from None
 
     # -- add/drop --------------------------------------------------------------
 

@@ -45,7 +45,63 @@ class ConnectionStateError(GriphonError):
 
 
 class EquipmentError(GriphonError):
-    """A network element rejected a configuration command."""
+    """A network element rejected a configuration command.
+
+    Carries optional structured fields identifying the failing element so
+    fault localization and :class:`~repro.core.service.FaultReport` can
+    render it without string parsing.  ``str()`` is unchanged: only the
+    message appears.
+
+    Attributes:
+        site: The node/premises hosting the element ('' if unknown).
+        element: The specific element addressed ('' if unknown).
+        command: The EMS command that failed ('' if unknown).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        site: str = "",
+        element: str = "",
+        command: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+        self.element = element
+        self.command = command
+
+
+class CommandTimeoutError(EquipmentError):
+    """An EMS command did not complete within its sim-time timeout."""
+
+
+class CommandFailedError(EquipmentError):
+    """An EMS command failed permanently (retries exhausted or hard fault).
+
+    Attributes:
+        attempts: Command attempts made before giving up.
+        retryable: False for hard element failures where retrying is
+            pointless (the resilient executor fails fast on these).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        site: str = "",
+        element: str = "",
+        command: str = "",
+        attempts: int = 0,
+        retryable: bool = True,
+    ) -> None:
+        super().__init__(message, site=site, element=element, command=command)
+        self.attempts = attempts
+        self.retryable = retryable
+
+
+class CircuitBreakerOpenError(EquipmentError):
+    """A command was rejected fast because the EMS circuit breaker is open."""
 
 
 class SignalError(GriphonError):

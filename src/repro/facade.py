@@ -19,6 +19,8 @@ from repro.core.inventory import InventoryDatabase
 from repro.core.maintenance import MaintenanceScheduler
 from repro.core.service import BodService
 from repro.ems.latency import LatencyModel
+from repro.faults.plan import FaultPlan
+from repro.faults.resilient import RetryPolicy
 from repro.iplayer.network import IpLayer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -44,6 +46,8 @@ class GriphonNetwork:
         assignment: str = "first-fit",
         auto_restore: bool = True,
         tracing: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
@@ -59,6 +63,8 @@ class GriphonNetwork:
             parallel_ems=parallel_ems,
             assignment=assignment,
             auto_restore=auto_restore,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
         self.controller: Optional[GriphonController] = None
         self.maintenance: Optional[MaintenanceScheduler] = None
@@ -132,6 +138,8 @@ def build_griphon_testbed(
     ots_per_node_40g: int = 2,
     nte_interfaces: int = 4,
     grid_size: int = 80,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> GriphonNetwork:
     """Build the paper's Fig. 4 laboratory testbed.
 
@@ -150,6 +158,8 @@ def build_griphon_testbed(
         assignment=assignment,
         auto_restore=auto_restore,
         tracing=tracing,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     )
     inv = net.inventory
     for node in TESTBED_ROADMS:
@@ -182,6 +192,8 @@ def build_griphon_backbone(
     ots_per_node_10g: int = 12,
     ots_per_node_40g: int = 6,
     regens_per_hub: int = 6,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> GriphonNetwork:
     """Build the synthetic 12-city backbone with five data centers."""
     net = GriphonNetwork(
@@ -193,6 +205,8 @@ def build_griphon_backbone(
         assignment=assignment,
         auto_restore=auto_restore,
         tracing=tracing,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     )
     inv = net.inventory
     hubs = {"CHI", "STL", "DEN", "DFW", "ATL"}

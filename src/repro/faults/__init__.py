@@ -1,0 +1,36 @@
+"""Deterministic fault injection, resilient EMS commands, and auditing.
+
+Three pieces, composable but independently usable:
+
+* :mod:`repro.faults.plan` — a declarative, seeded :class:`FaultPlan`
+  that decides which EMS commands fail, how, and when;
+* :mod:`repro.faults.resilient` — the :class:`ResilientExecutor` every
+  EMS command runs through: sim-time timeouts, bounded retries with
+  exponential backoff and deterministic jitter, per-EMS circuit
+  breakers;
+* :mod:`repro.faults.audit` — an invariant auditor cross-checking
+  inventory claims against hardware state, used as the oracle of the
+  chaos property tests and the ``griphon chaos`` CLI.
+"""
+
+from repro.faults.audit import (
+    AuditReport,
+    AuditViolation,
+    audit_inventory,
+    audit_network,
+)
+from repro.faults.plan import FAULT_MODES, FaultPlan, FaultSpec
+from repro.faults.resilient import CircuitBreaker, ResilientExecutor, RetryPolicy
+
+__all__ = [
+    "AuditReport",
+    "AuditViolation",
+    "audit_inventory",
+    "audit_network",
+    "FAULT_MODES",
+    "FaultPlan",
+    "FaultSpec",
+    "CircuitBreaker",
+    "ResilientExecutor",
+    "RetryPolicy",
+]

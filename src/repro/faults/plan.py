@@ -1,0 +1,214 @@
+"""Declarative, seeded fault plans for EMS command injection.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` rules matched
+against every EMS command the resilient executor runs.  Matching uses
+``fnmatch`` wildcards over the EMS name (``roadm_ems``, ``otn_ems``,
+``fxc_ctl``, ``nte_ctl``), the element label, and the command stage, so
+one spec can express "every ROADM command", "the FXC at ROADM-II is
+stuck between t=100 and t=400", or "the third equalize fails once".
+
+Determinism: the plan draws its probability gates from a substream
+spawned off the network's :class:`~repro.sim.randomness.RandomStreams`
+(``streams.spawn("faults")``), the same domain-separation mechanism the
+sweep engine uses for trials — two runs with the same master seed see
+byte-identical fault sequences, and an empty plan draws nothing at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.randomness import RandomStreams
+
+#: The injectable failure modes, from most to least benign.
+FAULT_MODES = ("transient", "timeout", "stuck", "fail")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault-injection rule.
+
+    Attributes:
+        ems: EMS name pattern (``roadm_ems``, ``otn_ems``, ``fxc_ctl``,
+            ``nte_ctl``, or ``*``).
+        element: Element label pattern (e.g. ``ROADM-II``, ``OT:*``).
+        command: Command stage pattern (``tune``, ``roadm``, ``fxc``,
+            ``equalize``, ``verify``, ``otn``, ``nte``, or ``*``).
+        mode: ``transient`` (quick error, retry usually wins),
+            ``timeout``/``stuck`` (the command burns its full sim-time
+            timeout before failing), or ``fail`` (hard element failure;
+            retrying is pointless and the executor fails fast).
+        probability: Chance a matching command is hit (1.0 = always).
+        count: Total injections this spec may perform (None = unlimited).
+        after_s: Rule active only at sim times >= this.
+        until_s: Rule inactive at sim times >= this (None = forever).
+        error_after_s: Sim-seconds a transient/fail fault consumes
+            before the error surfaces.
+    """
+
+    ems: str = "*"
+    element: str = "*"
+    command: str = "*"
+    mode: str = "transient"
+    probability: float = 1.0
+    count: Optional[int] = None
+    after_s: float = 0.0
+    until_s: Optional[float] = None
+    error_after_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ConfigurationError(
+                f"unknown fault mode {self.mode!r} (known: {', '.join(FAULT_MODES)})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.count is not None and self.count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {self.count}")
+        if self.error_after_s < 0:
+            raise ConfigurationError(
+                f"error_after_s must be >= 0, got {self.error_after_s}"
+            )
+        if self.until_s is not None and self.until_s <= self.after_s:
+            raise ConfigurationError(
+                f"until_s ({self.until_s}) must be after after_s ({self.after_s})"
+            )
+
+    def matches(self, ems: str, element: str, command: str, now: float) -> bool:
+        """True when this rule applies to the command at sim time ``now``."""
+        if now < self.after_s:
+            return False
+        if self.until_s is not None and now >= self.until_s:
+            return False
+        return (
+            fnmatchcase(ems, self.ems)
+            and fnmatchcase(element, self.element)
+            and fnmatchcase(command, self.command)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON plans (``griphon chaos --plan``)."""
+        return {
+            "ems": self.ems,
+            "element": self.element,
+            "command": self.command,
+            "mode": self.mode,
+            "probability": self.probability,
+            "count": self.count,
+            "after_s": self.after_s,
+            "until_s": self.until_s,
+            "error_after_s": self.error_after_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        """Build a spec from its plain-dict form; unknown keys raise."""
+        known = {
+            "ems", "element", "command", "mode", "probability",
+            "count", "after_s", "until_s", "error_after_s",
+        }
+        extra = set(data) - known
+        if extra:
+            raise ConfigurationError(
+                f"unknown FaultSpec keys: {', '.join(sorted(extra))}"
+            )
+        return cls(**data)
+
+
+class FaultPlan:
+    """An ordered set of fault rules plus their deterministic dice.
+
+    The first matching rule with injections remaining decides a
+    command's fate; rules never compose.  An empty plan is the default
+    everywhere and guarantees a zero-overhead happy path: the executor
+    checks :attr:`empty` and falls through without drawing randomness,
+    counting metrics, or opening spans.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self._specs: List[FaultSpec] = list(specs)
+        self._remaining: List[Optional[int]] = [s.count for s in self._specs]
+        self._injected: List[int] = [0 for _ in self._specs]
+        self._streams: Optional[RandomStreams] = None
+
+    @property
+    def specs(self) -> List[FaultSpec]:
+        """The plan's rules, in match order."""
+        return list(self._specs)
+
+    @property
+    def empty(self) -> bool:
+        """True when no rule can ever fire again."""
+        return not any(
+            remaining is None or remaining > 0 for remaining in self._remaining
+        )
+
+    @property
+    def injected_counts(self) -> List[int]:
+        """Per-rule count of faults actually injected so far."""
+        return list(self._injected)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        """Append a rule mid-run (chaos scripting); returns self."""
+        self._specs.append(spec)
+        self._remaining.append(spec.count)
+        self._injected.append(0)
+        return self
+
+    def bind(self, streams: RandomStreams) -> "FaultPlan":
+        """Attach the seeded dice; the controller calls this at build."""
+        self._streams = streams.spawn("faults")
+        return self
+
+    def decide(
+        self, ems: str, element: str, command: str, now: float
+    ) -> Optional[FaultSpec]:
+        """The fault (if any) to inject into this command attempt.
+
+        Consumes one injection from the first matching rule that passes
+        its probability gate.  Probability draws come from a per-rule
+        named substream, so adding a rule never perturbs another rule's
+        dice sequence.
+        """
+        for index, spec in enumerate(self._specs):
+            remaining = self._remaining[index]
+            if remaining is not None and remaining <= 0:
+                continue
+            if not spec.matches(ems, element, command, now):
+                continue
+            if spec.probability < 1.0:
+                if self._streams is None:
+                    raise ConfigurationError(
+                        "FaultPlan with probabilistic rules must be bound to "
+                        "RandomStreams (plan.bind(streams)) before use"
+                    )
+                roll = self._streams.uniform(f"fault:{index}", 0.0, 1.0)
+                if roll >= spec.probability:
+                    continue
+            if remaining is not None:
+                self._remaining[index] = remaining - 1
+            self._injected[index] += 1
+            return spec
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON plans."""
+        return {"specs": [spec.to_dict() for spec in self._specs]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Build a plan from its plain-dict form."""
+        specs = [FaultSpec.from_dict(item) for item in data.get("specs", [])]
+        return cls(specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self._specs)} spec(s))"
+

@@ -85,6 +85,9 @@ class Lightpath:
     setup_started_at: Optional[float] = None
     up_at: Optional[float] = None
     released_at: Optional[float] = None
+    #: The EquipmentError that aborted setup (None on the happy path);
+    #: set by the provisioning saga when it rolls the lightpath back.
+    setup_error: Optional[Exception] = None
 
     @property
     def source(self) -> str:

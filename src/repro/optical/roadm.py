@@ -288,6 +288,14 @@ class Roadm:
         del self._degree_channels[degree_in][channel]
         del self._degree_channels[degree_out][channel]
 
+    def express_connections(self) -> List[Tuple[str, str, int, str]]:
+        """All express cross-connects as (degree_in, degree_out, channel,
+        owner), sorted — the audit's view of the switching fabric."""
+        return sorted(
+            (a, b, channel, owner)
+            for (a, b, channel), owner in self._express.items()
+        )
+
     # -- internals ------------------------------------------------------------
 
     def _require_degree(self, degree: str) -> None:

@@ -71,6 +71,10 @@ class OtnSwitch:
             p for p in range(self.client_port_count) if p not in self._client_owner
         ]
 
+    def client_port_owners(self) -> Dict[int, str]:
+        """Current client-port ownership (port -> owner), for auditing."""
+        return dict(self._client_owner)
+
     # -- lines ----------------------------------------------------------------
 
     def attach_line(self, line: OtnLine) -> None:

@@ -177,11 +177,19 @@ class SweepResult:
             }
         metrics = self.merged_metrics().snapshot()
         metrics.pop("gauges", None)
+        failed = self.failed
+        first_error = (
+            {"trial_id": failed[0].trial_id, "error": failed[0].error}
+            if failed
+            else None
+        )
         return {
             "schema_version": 1,
             "sweep": self.spec.name,
             "base_seed": self.spec.base_seed,
             "trial_count": len(self.results),
+            "failed_trials": len(failed),
+            "first_error": first_error,
             "trials": [
                 {
                     "trial_id": r.trial_id,

@@ -14,7 +14,15 @@ traffic (diurnal, latency-sensitive).  This package generates both:
 """
 
 from repro.workload.arrivals import DiurnalProfile, PoissonArrivals
-from repro.workload.failures import CutRecord, FiberCutInjector
+from repro.workload.failures import (
+    AmplifierFailureInjector,
+    CutRecord,
+    FailureInjector,
+    FailureRecord,
+    FiberCutInjector,
+    OtnSwitchFailureInjector,
+    TransponderFailureInjector,
+)
 from repro.workload.bulk import BulkTransferWorkload, TransferRecord
 from repro.workload.interactive import InteractiveDemand
 from repro.workload.traces import TrafficMatrix, synthesize_traffic_matrix
@@ -22,8 +30,13 @@ from repro.workload.traces import TrafficMatrix, synthesize_traffic_matrix
 __all__ = [
     "DiurnalProfile",
     "PoissonArrivals",
+    "AmplifierFailureInjector",
     "CutRecord",
+    "FailureInjector",
+    "FailureRecord",
     "FiberCutInjector",
+    "OtnSwitchFailureInjector",
+    "TransponderFailureInjector",
     "BulkTransferWorkload",
     "TransferRecord",
     "InteractiveDemand",

@@ -1,0 +1,127 @@
+"""Tests for the inventory/hardware invariant auditor.
+
+Clean networks (fresh, loaded, and torn down) must audit clean, and a
+seeded corruption of each resource class — a leaked channel, a missing
+channel, a rogue transponder allocation, a rogue FXC cross-connect, a
+dangling component reference — must surface as the right violation kind.
+"""
+
+from repro.facade import build_griphon_testbed
+from repro.faults import AuditReport, AuditViolation, audit_network
+from repro.faults.audit import audit_inventory
+
+PAIR = ("PREMISES-A", "PREMISES-B")
+
+
+def build_up_network(rate_gbps=10):
+    net = build_griphon_testbed(seed=5)
+    svc = net.service_for("acme")
+    conn = svc.request_connection(*PAIR, rate_gbps)
+    net.run()
+    return net, svc, conn
+
+
+def kinds(report):
+    return {violation.kind for violation in report.violations}
+
+
+class TestCleanAudits:
+    def test_fresh_network_is_clean(self):
+        net = build_griphon_testbed(seed=1)
+        report = audit_network(net.controller)
+        assert report.ok
+        assert report.checked > 0
+
+    def test_loaded_network_is_clean(self):
+        net, svc, conn = build_up_network(12)
+        report = audit_network(net.controller)
+        assert report.ok, str(report)
+
+    def test_torn_down_network_is_clean(self):
+        net, svc, conn = build_up_network()
+        svc.teardown_connection(conn.connection_id)
+        net.run()
+        assert audit_network(net.controller).ok
+
+    def test_inventory_only_audit_skips_connection_checks(self):
+        net, _, _ = build_up_network()
+        report = audit_inventory(net.inventory)
+        assert report.ok, str(report)
+
+    def test_report_rendering(self):
+        clean = AuditReport(checked=3)
+        assert "3 resource(s) checked, clean" in clean.summary()
+        dirty = AuditReport(
+            violations=[
+                AuditViolation("channel-leak", "channel 4", "LP:x", "leaked")
+            ],
+            checked=1,
+        )
+        assert not dirty.ok
+        assert "1 violation(s)" in dirty.summary()
+        assert "[channel-leak]" in str(dirty)
+
+
+class TestCorruptionDetection:
+    def test_bogus_channel_occupation_is_a_leak(self):
+        net, _, _ = build_up_network()
+        dwdm = net.inventory.plant.dwdm_link("ROADM-I", "ROADM-III")
+        channel = sorted(dwdm.free_channels())[0]
+        dwdm.occupy(channel, "LP:bogus")
+        report = audit_network(net.controller)
+        assert "channel-leak" in kinds(report)
+
+    def test_released_channel_behind_a_lightpaths_back_is_missing(self):
+        net, _, conn = build_up_network()
+        lp_id = conn.lightpath_ids[0]
+        lightpath = net.inventory.lightpaths[lp_id]
+        segment = lightpath.segments[0]
+        dwdm = net.inventory.plant.dwdm_link(*segment.links[0])
+        dwdm.release(segment.channel, lp_id)
+        report = audit_network(net.controller)
+        assert "channel-missing" in kinds(report)
+
+    def test_bogus_transponder_allocation_is_a_leak(self):
+        net, _, _ = build_up_network()
+        pool = net.inventory.transponders["ROADM-I"]
+        free = pool.free()[0]
+        free.allocate("LP:bogus")
+        report = audit_network(net.controller)
+        assert "ot-leak" in kinds(report)
+
+    def test_bogus_fxc_crossconnect_is_a_leak(self):
+        net, _, _ = build_up_network()
+        fxc = net.inventory.fxcs["PREMISES-C"]
+        port_a, port_b = fxc.free_ports()[:2]
+        fxc.connect(port_a, port_b, "conn-bogus")
+        report = audit_network(net.controller)
+        assert "fxc-leak" in kinds(report)
+
+    def test_dangling_lightpath_reference(self):
+        net, _, conn = build_up_network()
+        conn.lightpath_ids.append("LP:phantom")
+        report = audit_network(net.controller)
+        assert "dangling-lightpath" in kinds(report)
+
+    def test_blocked_connections_may_not_hold_resources(self):
+        # A BLOCKED connection is outside the resource-holding states:
+        # an FXC cross-connect it still owned would be a leak.
+        net, svc, conn = build_up_network()
+        fxc = net.inventory.fxcs["PREMISES-C"]
+        port_a, port_b = fxc.free_ports()[:2]
+        fxc.connect(port_a, port_b, conn.connection_id)
+        assert audit_network(net.controller).ok  # conn is UP: legitimate
+        svc.teardown_connection(conn.connection_id)
+        net.run()
+        report = audit_network(net.controller)
+        assert "fxc-leak" in kinds(report)
+
+    def test_violation_str_names_the_resource(self):
+        net, _, _ = build_up_network()
+        pool = net.inventory.transponders["ROADM-II"]
+        free = pool.free()[0]
+        free.allocate("LP:bogus")
+        report = audit_network(net.controller)
+        assert not report.ok
+        text = str(report.violations[0])
+        assert "ot-leak" in text and "LP:bogus" in text

@@ -1,0 +1,232 @@
+"""Integration tests for the compensating setup saga.
+
+A fault injected at any stage of a setup workflow must unwind every
+executed step and release every claimed resource (the invariant auditor
+is the oracle), composites must settle to DEGRADED when only some
+components abort, and restoration / bridge-and-roll must abort cleanly
+when the resilient layer gives up mid-rebuild.
+"""
+
+import pytest
+
+from repro.core.connection import ConnectionState
+from repro.core.service import ServiceDegraded, SetupFailed
+from repro.facade import build_griphon_testbed
+from repro.faults import FaultPlan, FaultSpec, audit_network
+from repro.units import HOUR
+from repro.workload import (
+    AmplifierFailureInjector,
+    OtnSwitchFailureInjector,
+    TransponderFailureInjector,
+)
+
+PAIR = ("PREMISES-A", "PREMISES-B")
+
+
+def build(plan=None, seed=7):
+    net = build_griphon_testbed(seed=seed, fault_plan=plan)
+    return net, net.service_for("acme")
+
+
+def assert_clean(net):
+    report = audit_network(net.controller)
+    assert report.ok, str(report)
+
+
+class TestWaveSetupSaga:
+    @pytest.mark.parametrize(
+        "stage", ["order", "fxc", "tune", "roadm", "equalize", "verify"]
+    )
+    def test_failure_at_each_stage_unwinds_completely(self, stage):
+        plan = FaultPlan([FaultSpec(command=stage, mode="fail")])
+        net, svc = build(plan)
+        conn = svc.request_connection(*PAIR, 10)
+        net.run()
+        assert conn.state is ConnectionState.BLOCKED
+        assert conn.blocked_reason.startswith("setup failed")
+        outcome = svc.setup_outcome(conn.connection_id)
+        assert isinstance(outcome, SetupFailed)
+        # Zero residue: no lightpaths registered, quota back to zero,
+        # and the hardware agrees with the (empty) inventory.
+        assert not net.inventory.lightpaths
+        usage = svc.usage()
+        assert usage["connections"] == 0
+        assert usage["committed_gbps"] == 0
+        assert_clean(net)
+        counters = net.metrics.counters()
+        assert counters["lightpath.setup_aborted"] >= 1
+        assert counters["connection.setup_failed"] == 1
+
+    def test_transient_fault_is_retried_transparently(self):
+        # A single transient hiccup: the retry wins and the customer
+        # sees a normal UP connection.
+        plan = FaultPlan(
+            [FaultSpec(count=1, mode="transient", command="tune")]
+        )
+        net, svc = build(plan)
+        conn = svc.request_connection(*PAIR, 10)
+        net.run()
+        assert conn.state is ConnectionState.UP
+        assert svc.setup_outcome(conn.connection_id) is None
+        counters = net.metrics.counters()
+        assert counters["ems.retry"] >= 1
+        assert counters["faults.injected.transient"] == 1
+        assert_clean(net)
+
+    def test_fault_report_carries_structured_fields(self):
+        plan = FaultPlan([FaultSpec(command="tune", mode="fail")])
+        net, svc = build(plan)
+        conn = svc.request_connection(*PAIR, 10)
+        net.run()
+        report = svc.fault_report(conn.connection_id)
+        assert report.failed_command
+        assert report.failed_element
+
+
+class TestCompositeSettlement:
+    def test_otn_failure_degrades_composite(self):
+        # 12G = a 10G wavelength plus a groomed OTN circuit; killing
+        # only the OTN EMS aborts the circuit and keeps the wave.
+        plan = FaultPlan([FaultSpec(ems="otn_ems", mode="fail")])
+        net, svc = build(plan)
+        conn = svc.request_connection(*PAIR, 12)
+        net.run()
+        assert conn.state is ConnectionState.DEGRADED
+        assert conn.lightpath_ids and not conn.circuit_ids
+        outcome = svc.setup_outcome(conn.connection_id)
+        assert isinstance(outcome, ServiceDegraded)
+        assert outcome.up_components >= 1
+        counters = net.metrics.counters()
+        assert counters["otn.circuit.setup_aborted"] >= 1
+        assert counters["connection.setup_degraded"] == 1
+        assert_clean(net)
+        # The degraded survivor tears down like any other connection.
+        svc.teardown_connection(conn.connection_id)
+        net.run()
+        assert conn.state is ConnectionState.RELEASED
+        assert svc.usage()["connections"] == 0
+        assert_clean(net)
+
+    def test_total_failure_blocks_and_unwinds_composite(self):
+        plan = FaultPlan([FaultSpec(mode="fail")])
+        net, svc = build(plan)
+        conn = svc.request_connection(*PAIR, 12)
+        net.run()
+        assert conn.state is ConnectionState.BLOCKED
+        assert isinstance(svc.setup_outcome(conn.connection_id), SetupFailed)
+        assert svc.usage()["connections"] == 0
+        assert_clean(net)
+
+
+class TestRecoveryPathSagas:
+    def test_restoration_abort_leaves_connection_failed_and_clean(self):
+        net, svc = build(FaultPlan())
+        conn = svc.request_connection(*PAIR, 10)
+        net.run()
+        assert conn.state is ConnectionState.UP
+        # From now on every EMS command fails hard: the replacement
+        # lightpath cannot be built and restoration must give up.
+        net.controller.fault_plan.add(
+            FaultSpec(mode="fail", after_s=net.sim.now)
+        )
+        lightpath = net.inventory.lightpaths[conn.lightpath_ids[0]]
+        core = [
+            (a, b)
+            for a, b in zip(lightpath.path, lightpath.path[1:])
+            if not (a.startswith("PREMISES") or b.startswith("PREMISES"))
+        ]
+        net.controller.cut_link(*core[0])
+        net.run()
+        assert conn.state is ConnectionState.FAILED
+        assert conn.lightpath_ids == []
+        assert net.metrics.counters()["restoration.aborted"] == 1
+        assert_clean(net)
+
+    def test_bridge_and_roll_abort_keeps_original_up(self):
+        net, svc = build(FaultPlan())
+        conn = svc.request_connection(*PAIR, 10)
+        net.run()
+        assert conn.state is ConnectionState.UP
+        original = list(conn.lightpath_ids)
+        net.controller.fault_plan.add(
+            FaultSpec(mode="fail", after_s=net.sim.now)
+        )
+        net.controller.bridge_and_roll(conn.connection_id)
+        net.run()
+        # The bridge saga rolled back; traffic never left the old path.
+        assert conn.state is ConnectionState.UP
+        assert conn.lightpath_ids == original
+        assert net.metrics.counters()["bridge_and_roll.aborted"] == 1
+        assert_clean(net)
+
+    def test_teardown_is_best_effort_under_faults(self):
+        net, svc = build(FaultPlan())
+        conn = svc.request_connection(*PAIR, 10)
+        net.run()
+        net.controller.fault_plan.add(
+            FaultSpec(mode="transient", after_s=net.sim.now)
+        )
+        svc.teardown_connection(conn.connection_id)
+        net.run()
+        assert conn.state is ConnectionState.RELEASED
+        assert not net.inventory.lightpaths
+        assert net.metrics.counters()["ems.command.forced"] >= 1
+        assert_clean(net)
+
+
+class TestElementFailures:
+    def test_failed_transponder_restores_onto_a_healthy_card(self):
+        net, svc = build(None)
+        conn = svc.request_connection(*PAIR, 10)
+        net.run()
+        lp_id = conn.lightpath_ids[0]
+        owned = [
+            ot.ot_id
+            for pool in net.inventory.transponders.values()
+            for ot in pool.transponders
+            if ot.owner == lp_id
+        ]
+        net.controller.fail_transponder(owned[0])
+        net.run()
+        assert net.metrics.counters()["failure.transponder"] == 1
+        assert conn.state is ConnectionState.UP
+        assert conn.lightpath_ids != [lp_id]
+        assert_clean(net)
+        net.controller.repair_transponder(owned[0])
+        node = owned[0].split(":")[1]
+        assert not net.inventory.transponders[node].get(owned[0]).failed
+
+    def test_fail_otn_switch_requires_an_installed_switch(self):
+        from repro.errors import EquipmentError
+
+        net, _ = build(None)
+        with pytest.raises(EquipmentError):
+            net.controller.fail_otn_switch("PREMISES-A")
+
+    def test_element_injectors_fire_and_repair(self):
+        net, svc = build(None)
+        conn = svc.request_connection(*PAIR, 10)
+        net.run()
+        injectors = [
+            TransponderFailureInjector(
+                net.controller, net.streams, 6 * HOUR, stop_at=2 * 24 * HOUR
+            ),
+            AmplifierFailureInjector(
+                net.controller, net.streams, 8 * HOUR, stop_at=2 * 24 * HOUR
+            ),
+            OtnSwitchFailureInjector(
+                net.controller, net.streams, 12 * HOUR, stop_at=2 * 24 * HOUR
+            ),
+        ]
+        net.run(until=3 * 24 * HOUR)
+        net.run()
+        for injector in injectors:
+            assert injector.records, injector.kind
+            assert not injector.open_failures, injector.kind
+        counters = net.metrics.counters()
+        for kind in ("transponder", "amplifier", "otn_switch"):
+            assert counters[f"failure.injected.{kind}"] >= 1
+            assert counters[f"failure.injected.{kind}"] == counters[
+                f"failure.repaired.{kind}"
+            ]
+        assert_clean(net)

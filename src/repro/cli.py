@@ -189,6 +189,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Run an experiment sweep, serially or across worker processes."""
     from repro.sweep import (
         SweepSpec,
+        pipeline_load_spec,
         run_sweep,
         x10_scaling_spec,
         x9_availability_spec,
@@ -198,6 +199,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec = x9_availability_spec(repeats=args.repeats)
     elif args.study == "x10":
         spec = x10_scaling_spec(repeats=args.repeats)
+    elif args.study == "pipeline":
+        spec = pipeline_load_spec(repeats=args.repeats)
     else:
         spec_data = json.loads(Path(args.study).read_text())
         spec = SweepSpec.from_dict(spec_data)
@@ -288,6 +291,85 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if mid_report.ok and final_report.ok else 2
 
 
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    """Push a burst of concurrent orders through the intake pipeline."""
+    from repro.facade import build_griphon_backbone
+    from repro.pipeline import TicketState
+
+    if args.topology == "testbed":
+        net = build_griphon_testbed(seed=args.seed)
+    else:
+        net = build_griphon_backbone(seed=args.seed)
+    pipeline = net.enable_pipeline(
+        capacity=args.capacity,
+        round_size=args.round_size,
+        max_defers=args.max_defers,
+    )
+    service = net.service_for(
+        "cli-demo", max_connections=4096, max_total_rate_gbps=1000000
+    )
+    premises = sorted(net.inventory.ntes)
+    rates = (10, 12, 1)
+    tickets = []
+    for index in range(args.orders):
+        a = premises[index % len(premises)]
+        b = premises[(index * 7 + 3) % len(premises)]
+        if a == b:
+            b = premises[(index * 7 + 4) % len(premises)]
+        tickets.append(
+            service.submit_connection(a, b, rates[index % len(rates)])
+        )
+    net.run()
+    counts = {state: 0 for state in TicketState}
+    for ticket in tickets:
+        counts[ticket.state] += 1
+    print(
+        f"pipeline: {args.orders} order(s) on {args.topology}, "
+        f"round_size={args.round_size}, {pipeline.rounds} round(s)"
+    )
+    print(
+        f"  accepted={counts[TicketState.ACCEPTED]}"
+        f"  blocked={counts[TicketState.BLOCKED]}"
+        f"  deferred={counts[TicketState.DEFERRED]}"
+        f"  queue-full={counts[TicketState.QUEUE_FULL]}"
+    )
+    for ticket in tickets:
+        line = (f"  {ticket.order_id}: {ticket.premises_a} <-> "
+                f"{ticket.premises_b}  {ticket.state.value}")
+        if ticket.connection_id:
+            line += f"  [{ticket.connection_id}]"
+        if ticket.rounds_deferred:
+            line += f"  (deferred {ticket.rounds_deferred} round(s))"
+        if ticket.reason:
+            line += f"  - {ticket.reason}"
+        print(line)
+    if args.json:
+        payload = {
+            "orders": args.orders,
+            "topology": args.topology,
+            "round_size": args.round_size,
+            "rounds": pipeline.rounds,
+            "counts": {
+                state.value: count for state, count in counts.items()
+            },
+            "tickets": [
+                {
+                    "order_id": t.order_id,
+                    "premises_a": t.premises_a,
+                    "premises_b": t.premises_b,
+                    "state": t.state.value,
+                    "connection_id": t.connection_id,
+                    "rounds_deferred": t.rounds_deferred,
+                    "reason": t.reason,
+                }
+                for t in tickets
+            ],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote pipeline report to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -332,7 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "study",
-        help="built-in study (x9, x10) or path to a JSON sweep spec",
+        help="built-in study (x9, x10, pipeline) or path to a JSON sweep spec",
     )
     sweep.add_argument(
         "--jobs", type=int, default=1,
@@ -378,6 +460,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="write the chaos report to this file"
     )
     chaos.set_defaults(func=cmd_chaos)
+    pipe = sub.add_parser(
+        "pipeline",
+        help="submit a burst of concurrent orders through the intake queue",
+    )
+    pipe.add_argument(
+        "--orders", type=int, default=12, help="orders to submit (default 12)"
+    )
+    pipe.add_argument(
+        "--round-size", type=int, default=8,
+        help="orders planned per scheduling round (default 8)",
+    )
+    pipe.add_argument(
+        "--capacity", type=int, default=256,
+        help="intake queue bound before QueueFull (default 256)",
+    )
+    pipe.add_argument(
+        "--max-defers", type=int, default=3,
+        help="contention retries before a terminal defer (default 3)",
+    )
+    pipe.add_argument(
+        "--topology", choices=("testbed", "backbone"), default="testbed",
+        help="network to build (default testbed)",
+    )
+    pipe.add_argument(
+        "--json", default=None, help="write the ticket report to this file"
+    )
+    pipe.set_defaults(func=cmd_pipeline)
     sub.add_parser(
         "operator", help="print the carrier operator network view"
     ).set_defaults(func=cmd_operator)

@@ -11,7 +11,7 @@ policy, resource blocking is capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import AdmissionError
 from repro.units import GBPS, format_rate
@@ -70,6 +70,38 @@ class AdmissionControl:
         """All registered customer names."""
         return sorted(self._profiles)
 
+    def check(
+        self, customer: str, premises_a: str, premises_b: str, rate_bps: float
+    ) -> Optional[str]:
+        """Why this order would be refused, or ``None`` if it fits.
+
+        Non-mutating: nothing is recorded.  The order pipeline and load
+        studies use this to probe admissibility without spending quota;
+        :meth:`admit` is the same checks plus the ledger update.
+
+        Raises:
+            AdmissionError: for an unknown customer (that is a caller
+                bug, not a quota outcome).
+        """
+        profile = self.profile(customer)
+        if profile.premises:
+            for premises in (premises_a, premises_b):
+                if premises not in profile.premises:
+                    return (
+                        f"customer {customer!r} has no access at {premises!r}"
+                    )
+        if self._active_connections[customer] + 1 > profile.max_connections:
+            return (
+                f"customer {customer!r} is at its connection quota "
+                f"({profile.max_connections})"
+            )
+        if self._active_rate[customer] + rate_bps > profile.max_total_rate_bps:
+            return (
+                f"customer {customer!r} would exceed its rate quota "
+                f"({format_rate(profile.max_total_rate_bps)})"
+            )
+        return None
+
     def admit(
         self, customer: str, premises_a: str, premises_b: str, rate_bps: float
     ) -> None:
@@ -78,23 +110,9 @@ class AdmissionControl:
         Raises:
             AdmissionError: when a quota or premises restriction is hit.
         """
-        profile = self.profile(customer)
-        if profile.premises:
-            for premises in (premises_a, premises_b):
-                if premises not in profile.premises:
-                    raise AdmissionError(
-                        f"customer {customer!r} has no access at {premises!r}"
-                    )
-        if self._active_connections[customer] + 1 > profile.max_connections:
-            raise AdmissionError(
-                f"customer {customer!r} is at its connection quota "
-                f"({profile.max_connections})"
-            )
-        if self._active_rate[customer] + rate_bps > profile.max_total_rate_bps:
-            raise AdmissionError(
-                f"customer {customer!r} would exceed its rate quota "
-                f"({format_rate(profile.max_total_rate_bps)})"
-            )
+        reason = self.check(customer, premises_a, premises_b, rate_bps)
+        if reason is not None:
+            raise AdmissionError(reason)
         self._active_connections[customer] += 1
         self._active_rate[customer] += rate_bps
 

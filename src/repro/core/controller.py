@@ -181,6 +181,10 @@ class GriphonController:
         #: Optional IP layer for sub-1G packet services (Fig. 2).  Set
         #: by the facade (or directly) after construction.
         self.ip_layer: Optional[IpLayer] = None
+        #: Optional concurrent order pipeline (repro.pipeline).  Set by
+        #: GriphonNetwork.enable_pipeline(); BodService.submit_connection
+        #: requires it.
+        self.pipeline = None
         self.auto_restore = auto_restore
         self.connections: Dict[str, Connection] = {}
         self._conn_seq = itertools.count()
@@ -237,7 +241,35 @@ class GriphonController:
         cannot be admitted or resourced returns a BLOCKED record (with
         ``blocked_reason``) rather than raising, because that is what the
         customer GUI shows.
+
+        The order lifecycle is split into :meth:`open_order`,
+        :meth:`admit_order`, and :meth:`launch_order` so the concurrent
+        order pipeline (:mod:`repro.pipeline`) drives the exact same
+        steps per order as this serial path — only the planning is
+        batched there.
         """
+        connection, span = self.open_order(
+            customer, premises_a, premises_b, rate_bps, kind
+        )
+        if not self.admit_order(connection, span):
+            return connection
+        try:
+            self.launch_order(connection, kind, span)
+        except GriphonError as exc:
+            self.block_admitted_order(connection, span, exc)
+        return connection
+
+    # -- order lifecycle steps (shared with repro.pipeline) ---------------------
+
+    def open_order(
+        self,
+        customer: str,
+        premises_a: str,
+        premises_b: str,
+        rate_bps: float,
+        kind: Optional[ConnectionKind] = None,
+    ) -> Tuple[Connection, Span]:
+        """Create the connection record and its root tracing span."""
         connection_id = f"conn-{next(self._conn_seq)}"
         connection = Connection(
             connection_id,
@@ -258,37 +290,84 @@ class GriphonController:
             rate_bps=rate_bps,
         )
         connection.trace_id = span.trace_id
+        return connection, span
+
+    def admit_order(self, connection: Connection, span: Span) -> bool:
+        """Run admission control for an opened order.
+
+        Returns False — with the record settled as BLOCKED — when a
+        quota or premises restriction refuses the order.
+        """
         try:
             with span.child("order.admit"):
-                self.admission.admit(customer, premises_a, premises_b, rate_bps)
-        except AdmissionError as exc:
-            connection.state = ConnectionState.BLOCKED
-            connection.blocked_reason = str(exc)
-            span.set_tag("outcome", "blocked").finish()
-            self.metrics.inc("connection.blocked")
-            self._notify("blocked", {"connection": connection, "reason": str(exc)})
-            return connection
-        try:
-            with span.child("order.claim") as claim_span:
-                lightpaths, circuits, line_lightpaths = self._claim_components(
-                    connection, kind, parent_span=claim_span
+                self.admission.admit(
+                    connection.customer,
+                    connection.premises_a,
+                    connection.premises_b,
+                    connection.rate_bps,
                 )
-        except GriphonError as exc:
-            self.admission.release(customer, rate_bps)
-            connection.state = ConnectionState.BLOCKED
-            connection.blocked_reason = str(exc)
-            span.set_tag("outcome", "blocked").finish()
-            self.metrics.inc("connection.blocked")
-            self._notify("blocked", {"connection": connection, "reason": str(exc)})
-            return connection
+        except AdmissionError as exc:
+            self._settle_blocked(connection, span, exc)
+            return False
+        return True
+
+    def launch_order(
+        self,
+        connection: Connection,
+        kind: Optional[ConnectionKind],
+        span: Span,
+        planner: Optional[Callable] = None,
+    ) -> None:
+        """Claim an admitted order's resources and start its setup.
+
+        ``planner`` substitutes for :meth:`RwaEngine.plan` on the
+        order's wavelength components (the pipeline serves plans
+        computed by the round's ``plan_batch`` here).  Raises
+        GriphonError when claiming fails — the caller decides between
+        :meth:`block_admitted_order` and a pipeline defer.
+        """
+        with span.child("order.claim") as claim_span:
+            lightpaths, circuits, line_lightpaths = self._claim_components(
+                connection, kind, parent_span=claim_span, planner=planner
+            )
         Process(
             self.sim,
             self._setup_workflow(
                 connection, lightpaths, circuits, line_lightpaths, span
             ),
-            label=f"setup:{connection_id}",
+            label=f"setup:{connection.connection_id}",
         )
-        return connection
+
+    def block_admitted_order(
+        self, connection: Connection, span: Span, exc: GriphonError
+    ) -> None:
+        """Settle an admitted order as BLOCKED, returning its quota."""
+        self.admission.release(connection.customer, connection.rate_bps)
+        self._settle_blocked(connection, span, exc)
+
+    def abandon_order(
+        self, connection: Connection, span: Span, reason: str
+    ) -> None:
+        """Withdraw an admitted order before anything was claimed.
+
+        The pipeline's defer path: quota is returned and the connection
+        record is removed (the order goes back to the queue and will be
+        reprocessed — with a fresh record — in a later round).
+        """
+        self.admission.release(connection.customer, connection.rate_bps)
+        del self.connections[connection.connection_id]
+        span.set_tag("outcome", "deferred").set_tag("reason", reason).finish()
+        self.metrics.inc("connection.deferred")
+
+    def _settle_blocked(
+        self, connection: Connection, span: Span, exc: Exception
+    ) -> None:
+        """Mark an order BLOCKED and emit the usual telemetry."""
+        connection.state = ConnectionState.BLOCKED
+        connection.blocked_reason = str(exc)
+        span.set_tag("outcome", "blocked").finish()
+        self.metrics.inc("connection.blocked")
+        self._notify("blocked", {"connection": connection, "reason": str(exc)})
 
     def teardown_connection(self, connection_id: str) -> Connection:
         """Order a teardown; completes asynchronously (about ten seconds)."""
@@ -918,10 +997,20 @@ class GriphonController:
 
     # -- order decomposition --------------------------------------------------------
 
-    def _claim_components(self, connection, kind, parent_span: Optional[Span] = None):
-        """Claim all resources for an order; returns its components."""
-        pop_a = self.inventory.pop_of(connection.premises_a)
-        pop_b = self.inventory.pop_of(connection.premises_b)
+    def decompose_order(
+        self, connection, kind: Optional[ConnectionKind]
+    ) -> Optional[Tuple[List[float], int]]:
+        """Resolve an order into ``(wavelength rates, 1G circuit count)``.
+
+        Returns ``None`` when the order rides the IP layer as an EVC
+        (sub-1G guaranteed bandwidth, Fig. 2, or a forced PACKET kind).
+        Pure: nothing is claimed, so the pipeline calls this ahead of a
+        round's batched planning to learn which wavelengths each order
+        will ask for — the claim path then recomputes it identically.
+
+        Raises:
+            ResourceError: when no installed layer can realize the rate.
+        """
         rates = self.wavelength_rates()
         # Fig. 2: guaranteed bandwidth below 1 Gbps rides the IP layer
         # as an EVC (when an IP layer exists and no layer was forced).
@@ -930,13 +1019,13 @@ class GriphonController:
             and connection.rate_bps < SUBWAVELENGTH_CLIENT_BPS
             and self.ip_layer is not None
         ):
-            return self._claim_evc(connection, pop_a, pop_b)
+            return None
         if kind is ConnectionKind.PACKET:
             if self.ip_layer is None:
                 raise ResourceError(
                     "packet service requested but no IP layer exists"
                 )
-            return self._claim_evc(connection, pop_a, pop_b)
+            return None
         if kind is ConnectionKind.WAVELENGTH:
             fitting = [r for r in rates if r >= connection.rate_bps]
             if not fitting:
@@ -960,7 +1049,29 @@ class GriphonController:
                 raise ResourceError(
                     "sub-wavelength service requested but no OTN layer exists"
                 )
+        return waves, circuits_needed
+
+    def _claim_components(
+        self,
+        connection,
+        kind,
+        parent_span: Optional[Span] = None,
+        planner: Optional[Callable] = None,
+    ):
+        """Claim all resources for an order; returns its components.
+
+        ``planner`` (same call shape as :meth:`RwaEngine.plan`) replaces
+        the live per-wave planning when the pipeline already planned the
+        round as a batch.
+        """
+        pop_a = self.inventory.pop_of(connection.premises_a)
+        pop_b = self.inventory.pop_of(connection.premises_b)
+        decomposition = self.decompose_order(connection, kind)
+        if decomposition is None:
+            return self._claim_evc(connection, pop_a, pop_b)
+        waves, circuits_needed = decomposition
         connection.kind = self._classify(waves, circuits_needed)
+        plan_wave = self.rwa.plan if planner is None else planner
         owner = connection.connection_id
         lightpaths: List[Lightpath] = []
         circuits = []
@@ -968,7 +1079,7 @@ class GriphonController:
         claimed_nte: List[Tuple[str, int]] = []
         try:
             for rate in waves:
-                plan = self.rwa.plan(pop_a, pop_b, rate, parent_span=parent_span)
+                plan = plan_wave(pop_a, pop_b, rate, parent_span=parent_span)
                 lightpath = self.provisioner.claim(plan)
                 lightpaths.append(lightpath)
                 self._lightpath_conn[lightpath.lightpath_id] = owner

@@ -91,6 +91,29 @@ class RouteCache:
         # Copy the outer list: callers may filter/reorder candidates.
         return list(routes)
 
+    def get_ref(
+        self, key: RouteKey, generation: int, epoch: int
+    ) -> Optional[List[List[str]]]:
+        """Like :meth:`get` but returns the cached list itself, uncopied.
+
+        For read-only callers on a hot path (the batched planner serves
+        the same routes to many requests in one round); the caller must
+        not mutate the returned list or its paths.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        cached_generation, cached_epoch, routes = entry
+        if cached_generation != generation or cached_epoch != epoch:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return routes
+
     def put(
         self, key: RouteKey, generation: int, epoch: int, routes: List[List[str]]
     ) -> None:

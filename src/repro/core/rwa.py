@@ -15,15 +15,23 @@ Given a request between two ROADM nodes at a line rate, the engine:
 
 The plan is pure computation: nothing is allocated until the setup
 workflow executes it step by step.
+
+For a scheduling round of many concurrent orders, :meth:`RwaEngine.plan_batch`
+plans a whole list of requests against one shared :class:`_PlanningRound`:
+candidate routes, liveness checks, regen segmentation, and free-channel
+sets are computed once per distinct route, and every successful plan's
+channels are recorded in a shadow overlay so later requests in the same
+round cannot be assigned a wavelength an earlier one already won.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import (
     ConfigurationError,
+    GriphonError,
     NoPathError,
     SignalError,
     WavelengthBlockedError,
@@ -56,6 +64,99 @@ class RwaPlan:
     def hop_count(self) -> int:
         """ROADM-layer hops along the route."""
         return len(self.path) - 1
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One wavelength request inside a :meth:`RwaEngine.plan_batch` round.
+
+    Attributes:
+        source: Source ROADM node.
+        destination: Destination ROADM node.
+        rate_bps: Requested line rate.
+        excluded_links: Link keys to route around.
+        excluded_nodes: Intermediate nodes to avoid.
+    """
+
+    source: str
+    destination: str
+    rate_bps: float
+    excluded_links: Tuple[Tuple[str, str], ...] = ()
+    excluded_nodes: Tuple[str, ...] = ()
+
+
+@dataclass
+class BatchPlanItem:
+    """Per-request outcome of a :meth:`RwaEngine.plan_batch` round.
+
+    Attributes:
+        request: The request this outcome answers.
+        plan: The assignment, when planning succeeded.
+        error: The planning error, when it did not.
+        contended: True when the request failed *only* because earlier
+            requests in the same round claimed the wavelengths it needed
+            — i.e. it would have planned against the live inventory
+            alone.  Contended failures are worth retrying next round;
+            uncontended ones are genuine blocks.
+    """
+
+    request: PlanRequest
+    plan: Optional[RwaPlan] = None
+    error: Optional[GriphonError] = None
+    contended: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the request received a plan."""
+        return self.plan is not None
+
+
+class _PlanningRound:
+    """Shared per-round planning state for :meth:`RwaEngine.plan_batch`.
+
+    Memoizes the pure, inventory-derived intermediates (candidate
+    routes, path liveness, regen segmentation, per-segment free-channel
+    sets) so a round of N requests over few distinct routes does the
+    expensive work once, and carries the round's *shadow claims*: the
+    channels already promised to earlier plans in the round, per link.
+    Nothing here touches the inventory — the overlay mirrors exactly
+    what :meth:`LightpathProvisioner.claim` will occupy when the round's
+    plans are executed.
+    """
+
+    __slots__ = ("routes", "live", "regens", "free", "claimed", "overlay_on")
+
+    def __init__(self) -> None:
+        #: route-memo key -> list of candidate paths, or a NoPathError.
+        self.routes: Dict[tuple, object] = {}
+        #: path tuple -> FiberPlant.path_is_up result.
+        self.live: Dict[Tuple[str, ...], bool] = {}
+        #: (path tuple, rate) -> regen sites tuple.
+        self.regens: Dict[tuple, Tuple[str, ...]] = {}
+        #: segment node tuple -> base free-channel set (live inventory).
+        self.free: Dict[Tuple[str, ...], Set[int]] = {}
+        #: link key -> channels shadow-claimed by earlier plans this round.
+        self.claimed: Dict[Tuple[str, str], Set[int]] = {}
+        #: Cleared while probing whether a failure was contention-only.
+        self.overlay_on = True
+
+    def claimed_on(self, nodes: Sequence[str]) -> Set[int]:
+        """Channels the round already promised on any link of a segment."""
+        taken: Set[int] = set()
+        if not self.claimed:
+            return taken
+        for u, v in zip(nodes, nodes[1:]):
+            channels = self.claimed.get((u, v) if u <= v else (v, u))
+            if channels:
+                taken |= channels
+        return taken
+
+    def commit(self, plan: RwaPlan) -> None:
+        """Record a successful plan's channels as claimed for the round."""
+        for segment in plan.segments:
+            channel = segment.channel
+            for key in segment.links:
+                self.claimed.setdefault(key, set()).add(channel)
 
 
 class RwaEngine:
@@ -146,6 +247,93 @@ class RwaEngine:
             span.set_tag("regens", len(result.regen_sites))
             return result
 
+    def plan_batch(
+        self,
+        requests: Sequence[PlanRequest],
+        parent_span: Optional[Span] = None,
+    ) -> List[BatchPlanItem]:
+        """Plan a scheduling round of requests with shared state.
+
+        Requests are planned in order against one :class:`_PlanningRound`:
+        route enumeration, liveness filtering, regen segmentation, and
+        free-channel scans are memoized across the round, and each
+        successful plan's channels are shadow-claimed so later requests
+        cannot be assigned a wavelength an earlier request already won.
+        A single-request batch is exactly equivalent to :meth:`plan` —
+        same plan, same errors — because both run the same ``_plan``
+        pipeline (the round's memos start empty and its overlay has
+        nothing claimed yet).
+
+        Failures never raise; each request gets a :class:`BatchPlanItem`
+        carrying either the plan or the error, with ``contended`` set
+        when the request lost only to earlier claims in this round.
+        """
+        round_ctx = _PlanningRound()
+        items: List[BatchPlanItem] = []
+        tracer = self._tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.span(
+                "rwa.plan_batch", parent=parent_span, requests=len(requests)
+            )
+        try:
+            for request in requests:
+                try:
+                    plan = self._plan(
+                        request.source,
+                        request.destination,
+                        request.rate_bps,
+                        request.excluded_links,
+                        request.excluded_nodes,
+                        round_ctx=round_ctx,
+                    )
+                except GriphonError as exc:
+                    contended = self._contention_only(request, exc, round_ctx)
+                    items.append(
+                        BatchPlanItem(request, error=exc, contended=contended)
+                    )
+                    continue
+                round_ctx.commit(plan)
+                items.append(BatchPlanItem(request, plan=plan))
+        finally:
+            if span is not None:
+                span.set_tag("planned", sum(1 for i in items if i.ok))
+                span.set_tag(
+                    "contended", sum(1 for i in items if i.contended)
+                )
+                span.finish()
+        return items
+
+    def _contention_only(
+        self,
+        request: PlanRequest,
+        exc: GriphonError,
+        round_ctx: "_PlanningRound",
+    ) -> bool:
+        """Would the failed request have planned without the round overlay?
+
+        Only wavelength blocks can be caused by the overlay (routes and
+        reach do not depend on occupancy), and only when something was
+        actually claimed this round.
+        """
+        if not round_ctx.claimed or not isinstance(exc, WavelengthBlockedError):
+            return False
+        round_ctx.overlay_on = False
+        try:
+            self._plan(
+                request.source,
+                request.destination,
+                request.rate_bps,
+                request.excluded_links,
+                request.excluded_nodes,
+                round_ctx=round_ctx,
+            )
+            return True
+        except GriphonError:
+            return False
+        finally:
+            round_ctx.overlay_on = True
+
     def _plan(
         self,
         source: str,
@@ -154,6 +342,7 @@ class RwaEngine:
         excluded_links: Iterable[Tuple[str, str]] = (),
         excluded_nodes: Iterable[str] = (),
         avoid_srlgs_of: Optional[List[str]] = None,
+        round_ctx: Optional["_PlanningRound"] = None,
     ) -> RwaPlan:
         """The untraced planning pipeline behind :meth:`plan`."""
         if source == destination:
@@ -169,10 +358,10 @@ class RwaEngine:
                 banned_links |= {link.key for link in graph.links_in_srlg(srlg)}
             banned_nodes |= set(avoid_srlgs_of[1:-1])
         candidates = self._candidate_routes(
-            source, destination, banned_links, banned_nodes
+            source, destination, banned_links, banned_nodes, round_ctx
         )
         live_candidates = [
-            path for path in candidates if self._inventory.plant.path_is_up(path)
+            path for path in candidates if self._path_is_up(path, round_ctx)
         ]
         if not live_candidates:
             raise NoPathError(
@@ -181,7 +370,7 @@ class RwaEngine:
         failures = []
         for path in live_candidates:
             try:
-                segments, regen_sites = self._assign(path, rate_bps)
+                segments, regen_sites = self._assign(path, rate_bps, round_ctx)
             except (WavelengthBlockedError, SignalError) as exc:
                 # SignalError: a single link on this route exceeds the
                 # optical reach at this rate, so the route is unusable.
@@ -201,13 +390,52 @@ class RwaEngine:
         destination: str,
         banned_links: set,
         banned_nodes: set,
+        round_ctx: Optional["_PlanningRound"] = None,
     ) -> List[List[str]]:
         """K-shortest candidate routes, served from the cache when fresh.
 
         Entries are stamped with the topology generation and fiber-plant
         failure epoch; "no path" outcomes are cached as an empty route
-        list so repeated blocked requests stay cheap too.
+        list so repeated blocked requests stay cheap too.  Within a
+        planning round the result (or the NoPathError) is additionally
+        memoized on the round, skipping even the LRU lookup and its
+        defensive copy for repeated routes.
         """
+        memo_key = None
+        if round_ctx is not None:
+            memo_key = (
+                source,
+                destination,
+                frozenset(banned_links),
+                frozenset(banned_nodes),
+            )
+            memoized = round_ctx.routes.get(memo_key)
+            if memoized is not None:
+                if isinstance(memoized, NoPathError):
+                    raise memoized
+                return memoized  # type: ignore[return-value]
+        try:
+            routes = self._routes_from_cache(
+                source, destination, banned_links, banned_nodes,
+                copy=round_ctx is None,
+            )
+        except NoPathError as exc:
+            if memo_key is not None:
+                round_ctx.routes[memo_key] = exc
+            raise
+        if memo_key is not None:
+            round_ctx.routes[memo_key] = routes
+        return routes
+
+    def _routes_from_cache(
+        self,
+        source: str,
+        destination: str,
+        banned_links: set,
+        banned_nodes: set,
+        copy: bool = True,
+    ) -> List[List[str]]:
+        """The LRU-cache-backed route lookup behind :meth:`_candidate_routes`."""
         if self._cache is None:
             return self._inventory.graph.k_shortest_paths(
                 source,
@@ -222,7 +450,8 @@ class RwaEngine:
         key = make_route_key(
             source, destination, self._k_paths, banned_links, banned_nodes
         )
-        cached = self._cache.get(key, generation, epoch)
+        lookup = self._cache.get if copy else self._cache.get_ref
+        cached = lookup(key, generation, epoch)
         if cached is not None:
             if not cached:
                 raise NoPathError(f"no path from {source!r} to {destination!r}")
@@ -241,12 +470,37 @@ class RwaEngine:
         self._cache.put(key, generation, epoch, routes)
         return routes
 
+    def _path_is_up(
+        self, path: List[str], round_ctx: Optional["_PlanningRound"]
+    ) -> bool:
+        """Liveness of a candidate path, memoized across a planning round."""
+        if round_ctx is None:
+            return self._inventory.plant.path_is_up(path)
+        key = tuple(path)
+        up = round_ctx.live.get(key)
+        if up is None:
+            up = self._inventory.plant.path_is_up(path)
+            round_ctx.live[key] = up
+        return up
+
     def _assign(
-        self, path: List[str], rate_bps: float
+        self,
+        path: List[str],
+        rate_bps: float,
+        round_ctx: Optional["_PlanningRound"] = None,
     ) -> Tuple[List[Segment], List[str]]:
         """Segment a route at regen sites and pick a channel per segment."""
         graph = self._inventory.graph
-        regen_sites = self._reach.regen_sites(graph, path, rate_bps)
+        if round_ctx is None:
+            regen_sites = self._reach.regen_sites(graph, path, rate_bps)
+        else:
+            regen_key = (tuple(path), rate_bps)
+            memoized = round_ctx.regens.get(regen_key)
+            if memoized is None:
+                regen_sites = self._reach.regen_sites(graph, path, rate_bps)
+                round_ctx.regens[regen_key] = tuple(regen_sites)
+            else:
+                regen_sites = list(memoized)
         boundaries = [path[0]] + regen_sites + [path[-1]]
         # Candidate routes are simple paths, so node names are unique and
         # a single node->index map replaces the O(n^2) repeated .index().
@@ -255,12 +509,28 @@ class RwaEngine:
         segments = []
         for start, end in zip(indices, indices[1:]):
             nodes = path[start : end + 1]
-            channel = self._pick_channel(nodes)
+            channel = self._pick_channel(nodes, round_ctx)
             segments.append(Segment(nodes, channel))
         return segments, regen_sites
 
-    def _pick_channel(self, nodes: List[str]) -> int:
-        free = self._inventory.plant.common_free_channels(nodes)
+    def _pick_channel(
+        self,
+        nodes: List[str],
+        round_ctx: Optional["_PlanningRound"] = None,
+    ) -> int:
+        if round_ctx is None:
+            free = self._inventory.plant.common_free_channels(nodes)
+        else:
+            key = tuple(nodes)
+            base = round_ctx.free.get(key)
+            if base is None:
+                base = self._inventory.plant.common_free_channels(nodes)
+                round_ctx.free[key] = base
+            free = base
+            if round_ctx.overlay_on:
+                taken = round_ctx.claimed_on(nodes)
+                if taken:
+                    free = base - taken
         # The end ROADMs must also have the channel free on the relevant
         # degree (a previous segment of this very plan could contend, but
         # plans are executed atomically per segment, so link occupancy is

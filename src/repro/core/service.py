@@ -21,7 +21,8 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.core.connection import Connection, ConnectionKind, ConnectionState
 from repro.core.controller import GriphonController
-from repro.errors import AdmissionError, ResourceError
+from repro.errors import AdmissionError, ConfigurationError, ResourceError
+from repro.pipeline import OrderTicket, TicketState
 from repro.units import GBPS
 
 
@@ -130,6 +131,55 @@ class ServiceDegraded:
 
 
 @dataclass(frozen=True)
+class QueueFull:
+    """Typed outcome for an order refused by intake backpressure.
+
+    The pipeline's bounded queue was full at submission: nothing was
+    recorded against the customer's quota and no connection record
+    exists.  Resubmit after the backlog drains.
+
+    Attributes:
+        order_id: The refused submission's ticket id.
+        capacity: The queue bound that was hit.
+        reason: The one-line refusal message.
+    """
+
+    order_id: str
+    capacity: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.order_id}: queue full - {self.reason}"
+
+
+@dataclass(frozen=True)
+class Deferred:
+    """Typed outcome for an order that kept losing wavelength contention.
+
+    Every round the pipeline processed the order, earlier orders in the
+    same round won the wavelengths it needed; after the retry budget the
+    order was withdrawn.  Quota was returned and no connection record
+    remains — the network may well have capacity for a resubmission
+    once the contending orders are in service or torn down.
+
+    Attributes:
+        order_id: The withdrawn submission's ticket id.
+        rounds_deferred: How many rounds the order was retried.
+        reason: The last contention failure, one line.
+    """
+
+    order_id: str
+    rounds_deferred: int
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.order_id}: deferred after {self.rounds_deferred} "
+            f"round(s) - {self.reason}"
+        )
+
+
+@dataclass(frozen=True)
 class UsageLimits:
     """A customer's quota ceilings, in GUI units (Gbps)."""
 
@@ -199,6 +249,74 @@ class BodService:
                 number of Gbps (checked here, in the GUI's unit, so the
                 customer never sees a bps-denominated internal error).
         """
+        self._validate_rate(rate_gbps)
+        return self._controller.request_connection(
+            self.customer, premises_a, premises_b, rate_gbps * GBPS, kind
+        )
+
+    def submit_connection(
+        self,
+        premises_a: str,
+        premises_b: str,
+        rate_gbps: float,
+        kind: Optional[ConnectionKind] = None,
+    ) -> OrderTicket:
+        """Queue an order on the concurrent intake pipeline.
+
+        Unlike :meth:`request_connection` — which plans and claims the
+        order synchronously — this enqueues the order and returns an
+        :class:`~repro.pipeline.OrderTicket` at once; the pipeline
+        processes it in a scheduling round (run the simulator).  Follow
+        the ticket with :meth:`order_outcome`.
+
+        Raises:
+            AdmissionError: for an invalid ``rate_gbps`` (same check as
+                :meth:`request_connection`).
+            ConfigurationError: when the network was built without a
+                pipeline (``GriphonNetwork.enable_pipeline()``).
+        """
+        self._validate_rate(rate_gbps)
+        pipeline = self._controller.pipeline
+        if pipeline is None:
+            raise ConfigurationError(
+                "no order pipeline attached - call "
+                "GriphonNetwork.enable_pipeline() (or use request_connection)"
+            )
+        return pipeline.submit(
+            self.customer, premises_a, premises_b, rate_gbps * GBPS, kind
+        )
+
+    def order_outcome(
+        self, ticket: OrderTicket
+    ) -> Optional["Connection | QueueFull | Deferred"]:
+        """What became of a submitted order.
+
+        Returns ``None`` while the order is still queued, the
+        :class:`Connection` record once it was processed (ACCEPTED
+        orders are setting up or up; BLOCKED records carry
+        ``blocked_reason``), :class:`QueueFull` for intake backpressure,
+        and :class:`Deferred` when the order was withdrawn after losing
+        wavelength contention ``max_defers`` rounds in a row.
+        """
+        if ticket.state is TicketState.QUEUED:
+            return None
+        if ticket.state is TicketState.QUEUE_FULL:
+            pipeline = self._controller.pipeline
+            return QueueFull(
+                order_id=ticket.order_id,
+                capacity=pipeline.capacity if pipeline is not None else 0,
+                reason=ticket.reason,
+            )
+        if ticket.state is TicketState.DEFERRED:
+            return Deferred(
+                order_id=ticket.order_id,
+                rounds_deferred=ticket.rounds_deferred,
+                reason=ticket.reason,
+            )
+        return self._own(ticket.connection_id)
+
+    def _validate_rate(self, rate_gbps: float) -> None:
+        """GUI-unit rate validation shared by request and submit."""
         if not isinstance(rate_gbps, (int, float)) or isinstance(
             rate_gbps, bool
         ):
@@ -209,9 +327,6 @@ class BodService:
             raise AdmissionError(
                 f"rate_gbps must be positive and finite, got {rate_gbps!r}"
             )
-        return self._controller.request_connection(
-            self.customer, premises_a, premises_b, rate_gbps * GBPS, kind
-        )
 
     def teardown_connection(self, connection_id: str) -> Connection:
         """Tear down one of this customer's connections.

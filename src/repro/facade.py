@@ -19,11 +19,13 @@ from repro.core.inventory import InventoryDatabase
 from repro.core.maintenance import MaintenanceScheduler
 from repro.core.service import BodService
 from repro.ems.latency import LatencyModel
+from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.faults.resilient import RetryPolicy
 from repro.iplayer.network import IpLayer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.pipeline import OrderPipeline
 from repro.optical.wavelength import WavelengthGrid
 from repro.sim.kernel import Simulator
 from repro.sim.randomness import RandomStreams
@@ -68,6 +70,7 @@ class GriphonNetwork:
         )
         self.controller: Optional[GriphonController] = None
         self.maintenance: Optional[MaintenanceScheduler] = None
+        self.pipeline: Optional[OrderPipeline] = None
         self._services: Dict[str, BodService] = {}
 
     def finish_build(self) -> "GriphonNetwork":
@@ -83,6 +86,38 @@ class GriphonNetwork:
         )
         self.maintenance = MaintenanceScheduler(self.controller)
         return self
+
+    def enable_pipeline(
+        self,
+        capacity: int = 256,
+        round_size: int = 8,
+        round_interval: float = 0.0,
+        max_defers: int = 3,
+        seeded_tiebreak: bool = False,
+    ) -> OrderPipeline:
+        """Attach a concurrent order-intake pipeline to the controller.
+
+        After this, every service handle from :meth:`service_for` can
+        ``submit_connection()`` as well as ``request_connection()``.
+        See :class:`~repro.pipeline.OrderPipeline` for the parameters.
+
+        Raises:
+            ConfigurationError: before :meth:`finish_build`.
+        """
+        if self.controller is None:
+            raise ConfigurationError(
+                "finish_build() must run before enable_pipeline()"
+            )
+        self.pipeline = OrderPipeline(
+            self.controller,
+            capacity=capacity,
+            round_size=round_size,
+            round_interval=round_interval,
+            max_defers=max_defers,
+            seeded_tiebreak=seeded_tiebreak,
+        )
+        self.controller.pipeline = self.pipeline
+        return self.pipeline
 
     def service_for(
         self,

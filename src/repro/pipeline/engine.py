@@ -1,0 +1,419 @@
+"""The order pipeline: bounded queue, scheduling rounds, defer policy.
+
+One :class:`OrderPipeline` fronts one controller.  ``submit()`` returns
+an :class:`OrderTicket` immediately; a kernel process drains the queue
+in rounds of up to ``round_size`` orders.  Each round:
+
+1. opens + admits every order (admission failures settle BLOCKED,
+   exactly like the serial path);
+2. plans all admitted orders' wavelengths in **one**
+   :meth:`~repro.core.rwa.RwaEngine.plan_batch` call — routes, liveness,
+   regen segmentation, and free-channel scans are shared across the
+   round, and each plan is validated against wavelengths claimed by
+   earlier orders in the same round;
+3. claims and launches each order in round order, feeding the batch's
+   plans into the controller's normal claim path.
+
+Contention resolution is deterministic: orders are processed by
+``(arrival time, tiebreak, submission sequence)``.  The tiebreak is 0
+by default (pure arrival order — required for the round-size-1
+equivalence with the serial path); with ``seeded_tiebreak=True`` it is
+a per-order uniform draw from a dedicated spawned stream family, giving
+same-instant arrivals from many submitters a fair, seed-reproducible
+shuffle.
+
+An order that fails *only* because an earlier order in its round won
+the wavelengths it wanted is **deferred**: its admission is returned,
+its connection record withdrawn, and it re-enters the queue with its
+original priority (so it is first in line next round — no starvation).
+After ``max_defers`` consecutive contention losses the ticket settles
+as terminal DEFERRED.  Failures the serial path would also have
+produced settle BLOCKED with the identical reason string.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.connection import ConnectionKind
+from repro.core.rwa import PlanRequest
+from repro.errors import ConfigurationError, GriphonError
+from repro.sim.process import Process
+
+
+class TicketState(Enum):
+    """Lifecycle of a submitted order, as the customer sees it."""
+
+    #: Waiting in the intake queue (or between defer rounds).
+    QUEUED = "queued"
+    #: Resources claimed; the connection is setting up (or up).
+    ACCEPTED = "accepted"
+    #: Refused for a reason the serial path would also refuse.
+    BLOCKED = "blocked"
+    #: Lost wavelength contention ``max_defers`` rounds in a row.
+    DEFERRED = "deferred"
+    #: Refused at submission because the intake queue was full.
+    QUEUE_FULL = "queue-full"
+
+
+#: Ticket states that will never change again.
+_TERMINAL = (
+    TicketState.ACCEPTED,
+    TicketState.BLOCKED,
+    TicketState.DEFERRED,
+    TicketState.QUEUE_FULL,
+)
+
+
+@dataclass
+class OrderTicket:
+    """The customer-visible handle for one submitted order.
+
+    Attributes:
+        order_id: Pipeline-scoped id (``order-N``).
+        customer: Submitting customer.
+        premises_a: One end of the requested connection.
+        premises_b: The other end.
+        rate_bps: Committed rate.
+        state: Current :class:`TicketState`.
+        connection_id: The connection record, once the order was
+            processed (ACCEPTED or BLOCKED); ``None`` while queued and
+            for QUEUE_FULL / terminal DEFERRED outcomes.
+        reason: Why the order was refused (BLOCKED / DEFERRED /
+            QUEUE_FULL); empty for accepted orders.
+        submitted_at: Sim time of submission.
+        settled_at: Sim time the state became terminal; ``None`` while
+            queued.
+        rounds_deferred: How many rounds the order lost contention and
+            was retried.
+    """
+
+    order_id: str
+    customer: str
+    premises_a: str
+    premises_b: str
+    rate_bps: float
+    state: TicketState = TicketState.QUEUED
+    connection_id: Optional[str] = None
+    reason: str = ""
+    submitted_at: float = 0.0
+    settled_at: Optional[float] = None
+    rounds_deferred: int = 0
+
+    @property
+    def settled(self) -> bool:
+        """True once the ticket reached a terminal state."""
+        return self.state in _TERMINAL
+
+
+@dataclass(order=True)
+class _QueuedOrder:
+    """Heap entry: priority plus the untouched submission payload."""
+
+    priority: Tuple[float, float, int]
+    ticket: OrderTicket = field(compare=False)
+    kind: Optional[ConnectionKind] = field(compare=False, default=None)
+    defers: int = field(compare=False, default=0)
+
+
+class OrderPipeline:
+    """Batched, deterministic order intake in front of a controller.
+
+    Args:
+        controller: The controller orders are executed against.
+        capacity: Bounded queue size; submissions beyond it settle
+            QUEUE_FULL immediately (backpressure).
+        round_size: Maximum orders admitted+planned+claimed per round.
+        round_interval: Sim seconds between successive rounds while the
+            queue is non-empty (0 = drain within one timestamp).
+        max_defers: Contention losses an order may retry before its
+            ticket settles as terminal DEFERRED.
+        seeded_tiebreak: Draw a uniform tiebreak per order from the
+            controller streams' spawned ``"pipeline"`` family, applied
+            between arrival time and submission order.  Off by default:
+            pure arrival order is what makes ``round_size=1`` match the
+            serial path byte for byte.
+    """
+
+    def __init__(
+        self,
+        controller,
+        capacity: int = 256,
+        round_size: int = 8,
+        round_interval: float = 0.0,
+        max_defers: int = 3,
+        seeded_tiebreak: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if round_size < 1:
+            raise ConfigurationError(
+                f"round_size must be >= 1, got {round_size}"
+            )
+        if round_interval < 0:
+            raise ConfigurationError(
+                f"round_interval must be >= 0, got {round_interval}"
+            )
+        if max_defers < 0:
+            raise ConfigurationError(
+                f"max_defers must be >= 0, got {max_defers}"
+            )
+        self._controller = controller
+        self._sim = controller.sim
+        self._tracer = controller.tracer
+        self._metrics = controller.metrics
+        self._capacity = capacity
+        self._round_size = round_size
+        self._round_interval = float(round_interval)
+        self._max_defers = max_defers
+        self._tiebreak_streams = (
+            controller.streams.spawn("pipeline") if seeded_tiebreak else None
+        )
+        self._heap: List[_QueuedOrder] = []
+        self._order_seq = itertools.count(1)
+        self._arrival_seq = itertools.count(1)
+        self._tickets: Dict[str, OrderTicket] = {}
+        self._proc: Optional[Process] = None
+        self._rounds = 0
+        self._metrics.register_gauge(
+            "pipeline.queue_depth", lambda: len(self._heap)
+        )
+
+    # -- intake ----------------------------------------------------------------
+
+    def submit(
+        self,
+        customer: str,
+        premises_a: str,
+        premises_b: str,
+        rate_bps: float,
+        kind: Optional[ConnectionKind] = None,
+    ) -> OrderTicket:
+        """Queue an order; returns its ticket immediately.
+
+        A full queue settles the ticket as QUEUE_FULL on the spot —
+        nothing is recorded against the controller, and the customer is
+        expected to resubmit later (backpressure, not buffering).
+        """
+        ticket = OrderTicket(
+            order_id=f"order-{next(self._order_seq)}",
+            customer=customer,
+            premises_a=premises_a,
+            premises_b=premises_b,
+            rate_bps=rate_bps,
+            submitted_at=self._sim.now,
+        )
+        self._tickets[ticket.order_id] = ticket
+        if len(self._heap) >= self._capacity:
+            ticket.state = TicketState.QUEUE_FULL
+            ticket.reason = (
+                f"order intake queue is full ({self._capacity} waiting)"
+            )
+            ticket.settled_at = self._sim.now
+            self._metrics.inc("pipeline.queue_full")
+            self._tracer.event("pipeline.queue_full", order=ticket.order_id)
+            return ticket
+        tiebreak = 0.0
+        if self._tiebreak_streams is not None:
+            tiebreak = self._tiebreak_streams.uniform("tiebreak", 0.0, 1.0)
+        entry = _QueuedOrder(
+            priority=(self._sim.now, tiebreak, next(self._arrival_seq)),
+            ticket=ticket,
+            kind=kind,
+        )
+        heapq.heappush(self._heap, entry)
+        self._metrics.inc("pipeline.submitted")
+        self._ensure_draining()
+        return ticket
+
+    # -- introspection ---------------------------------------------------------
+
+    def ticket(self, order_id: str) -> OrderTicket:
+        """Look up a ticket.
+
+        Raises:
+            ConfigurationError: for an unknown order id.
+        """
+        try:
+            return self._tickets[order_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown order {order_id!r}"
+            ) from None
+
+    def tickets(self) -> List[OrderTicket]:
+        """Every ticket ever issued, in submission order."""
+        return list(self._tickets.values())
+
+    def queue_depth(self) -> int:
+        """Orders currently waiting for a round."""
+        return len(self._heap)
+
+    @property
+    def rounds(self) -> int:
+        """Scheduling rounds run so far."""
+        return self._rounds
+
+    @property
+    def capacity(self) -> int:
+        """The bounded queue size."""
+        return self._capacity
+
+    # -- the round loop --------------------------------------------------------
+
+    def _ensure_draining(self) -> None:
+        """(Re)start the round-loop process when the queue has work."""
+        if self._proc is None or self._proc.done:
+            self._proc = Process(
+                self._sim, self._drain(), label="pipeline:rounds"
+            )
+
+    def _drain(self):
+        """Kernel process: one scheduling round per ``round_interval``."""
+        while self._heap:
+            self._run_round()
+            if self._heap:
+                yield self._round_interval
+
+    def _run_round(self) -> None:
+        """Admit, batch-plan, and claim up to ``round_size`` orders."""
+        ctrl = self._controller
+        self._rounds += 1
+        take = min(self._round_size, len(self._heap))
+        batch = [heapq.heappop(self._heap) for _ in range(take)]
+        round_span = self._tracer.span(
+            "pipeline.round", round=self._rounds, orders=len(batch)
+        )
+        self._metrics.inc("pipeline.rounds")
+
+        # Phase 1: open + admit in arrival order; collect plan requests.
+        admitted = []  # (entry, connection, span, slice of requests)
+        requests: List[PlanRequest] = []
+        for entry in batch:
+            ticket = entry.ticket
+            connection, span = ctrl.open_order(
+                ticket.customer,
+                ticket.premises_a,
+                ticket.premises_b,
+                ticket.rate_bps,
+                entry.kind,
+            )
+            if not ctrl.admit_order(connection, span):
+                self._settle(ticket, TicketState.BLOCKED, connection)
+                continue
+            try:
+                # Same call order as the serial claim path, so a bad
+                # premises name or unrealizable rate blocks with the
+                # identical reason string.
+                pop_a = ctrl.inventory.pop_of(ticket.premises_a)
+                pop_b = ctrl.inventory.pop_of(ticket.premises_b)
+                decomposition = ctrl.decompose_order(connection, entry.kind)
+            except GriphonError as exc:
+                ctrl.block_admitted_order(connection, span, exc)
+                self._settle(ticket, TicketState.BLOCKED, connection)
+                continue
+            waves = [] if decomposition is None else decomposition[0]
+            start = len(requests)
+            for rate in waves:
+                requests.append(PlanRequest(pop_a, pop_b, rate))
+            admitted.append(
+                (entry, connection, span, slice(start, len(requests)))
+            )
+
+        # Phase 2: one batched RWA pass for the whole round.
+        items = (
+            ctrl.rwa.plan_batch(requests, parent_span=round_span)
+            if requests
+            else []
+        )
+
+        # Phase 3: claim + launch in round order.
+        claimed_any = False
+        for entry, connection, span, request_slice in admitted:
+            order_items = items[request_slice]
+            failed = next(
+                (item for item in order_items if item.error is not None), None
+            )
+            if failed is not None:
+                if failed.contended and entry.defers < self._max_defers:
+                    self._defer(entry, connection, span, str(failed.error))
+                elif failed.contended:
+                    self._settle_deferred(entry, connection, span, failed.error)
+                else:
+                    ctrl.block_admitted_order(connection, span, failed.error)
+                    self._settle(
+                        entry.ticket, TicketState.BLOCKED, connection
+                    )
+                continue
+            plans = iter([item.plan for item in order_items])
+
+            def planner(
+                source,
+                destination,
+                rate_bps,
+                parent_span=None,
+                _plans=plans,
+            ):
+                # Serves this order's batch plans to the claim path in
+                # wave order, standing in for RwaEngine.plan.
+                return next(_plans)
+
+            try:
+                ctrl.launch_order(connection, entry.kind, span, planner=planner)
+            except GriphonError as exc:
+                # Wavelengths were validated by the batch, but claims can
+                # still lose transponders/regens/ports to an earlier order
+                # in this round — worth one replan next round.  Without an
+                # earlier claimant the serial path would have failed the
+                # same way: settle BLOCKED with the identical reason.
+                if claimed_any and entry.defers < self._max_defers:
+                    self._defer(entry, connection, span, str(exc))
+                else:
+                    ctrl.block_admitted_order(connection, span, exc)
+                    self._settle(
+                        entry.ticket, TicketState.BLOCKED, connection
+                    )
+                continue
+            claimed_any = True
+            self._settle(entry.ticket, TicketState.ACCEPTED, connection)
+
+        round_span.set_tag("queued_after", len(self._heap)).finish()
+
+    # -- settlement ------------------------------------------------------------
+
+    def _settle(self, ticket: OrderTicket, state: TicketState, connection) -> None:
+        """Finalize a ticket against its connection record."""
+        ticket.state = state
+        ticket.settled_at = self._sim.now
+        ticket.connection_id = connection.connection_id
+        if state is TicketState.BLOCKED:
+            ticket.reason = connection.blocked_reason
+            self._metrics.inc("pipeline.blocked")
+        else:
+            self._metrics.inc("pipeline.accepted")
+
+    def _defer(self, entry: _QueuedOrder, connection, span, reason: str) -> None:
+        """Return a contention loser to the queue with its old priority."""
+        self._controller.abandon_order(connection, span, reason)
+        entry.defers += 1
+        entry.ticket.rounds_deferred += 1
+        self._metrics.inc("pipeline.deferred")
+        heapq.heappush(self._heap, entry)
+
+    def _settle_deferred(
+        self, entry: _QueuedOrder, connection, span, error: Exception
+    ) -> None:
+        """Terminal DEFERRED: contention persisted past ``max_defers``."""
+        self._controller.abandon_order(connection, span, str(error))
+        ticket = entry.ticket
+        ticket.state = TicketState.DEFERRED
+        ticket.settled_at = self._sim.now
+        ticket.reason = (
+            f"lost wavelength contention {entry.defers + 1} round(s) in a row: "
+            f"{error}"
+        )
+        self._metrics.inc("pipeline.deferred_terminal")

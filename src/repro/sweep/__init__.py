@@ -22,6 +22,8 @@ from repro.sweep.studies import (
     STUDIES,
     availability_trial,
     build_waxman_network,
+    pipeline_load_spec,
+    pipeline_trial,
     resolve_study,
     scaling_trial,
     scenario_trial,
@@ -37,6 +39,8 @@ __all__ = [
     "TrialSpec",
     "availability_trial",
     "build_waxman_network",
+    "pipeline_load_spec",
+    "pipeline_trial",
     "resolve_study",
     "run_sweep",
     "run_trial",

@@ -215,11 +215,72 @@ def scenario_trial(trial: TrialSpec) -> TrialResult:
     )
 
 
+def pipeline_trial(trial: TrialSpec) -> TrialResult:
+    """Offered load vs accept/defer/block through the order pipeline.
+
+    One burst of same-instant orders (the ``orders`` parameter is the
+    offered-load axis) is submitted through a bounded intake pipeline;
+    the trial measures how the round scheduler splits the burst into
+    accepted, blocked, terminally deferred, and queue-refused orders,
+    plus how much retrying the contention losers needed.
+    """
+    from repro.pipeline import TicketState
+
+    params = trial.params
+    orders = int(params.get("orders", 32))
+    rates = params.get("rates", (10, 12, 1))
+    net = _build_topology(trial)
+    pipeline = net.enable_pipeline(
+        capacity=int(params.get("capacity", 256)),
+        round_size=int(params.get("round_size", 8)),
+        round_interval=float(params.get("round_interval", 0.0)),
+        max_defers=int(params.get("max_defers", 3)),
+        seeded_tiebreak=bool(params.get("seeded_tiebreak", False)),
+    )
+    service = net.service_for(
+        "csp", max_connections=4096, max_total_rate_gbps=1000000
+    )
+    premises = sorted(net.inventory.ntes)
+    tickets = []
+    for index in range(orders):
+        a = premises[index % len(premises)]
+        b = premises[(index * 7 + 3) % len(premises)]
+        if a == b:
+            b = premises[(index * 7 + 4) % len(premises)]
+        tickets.append(
+            service.submit_connection(a, b, rates[index % len(rates)])
+        )
+    net.run()
+    by_state = {state: 0 for state in TicketState}
+    for ticket in tickets:
+        by_state[ticket.state] += 1
+    submitted = len(tickets) or 1
+    deferred_rounds = [float(t.rounds_deferred) for t in tickets]
+    return TrialResult(
+        values={
+            "accepted": by_state[TicketState.ACCEPTED],
+            "blocked": by_state[TicketState.BLOCKED],
+            "deferred": by_state[TicketState.DEFERRED],
+            "queue_full": by_state[TicketState.QUEUE_FULL],
+            "accept_rate": by_state[TicketState.ACCEPTED] / submitted,
+            "block_rate": by_state[TicketState.BLOCKED] / submitted,
+            "defer_rate": by_state[TicketState.DEFERRED] / submitted,
+            "queue_full_rate": by_state[TicketState.QUEUE_FULL] / submitted,
+            "rounds": pipeline.rounds,
+            "mean_rounds_deferred": statistics.fmean(deferred_rounds),
+            "queue_drained": pipeline.queue_depth() == 0,
+        },
+        samples={"rounds_deferred": deferred_rounds},
+        metrics=net.metrics.state(),
+    )
+
+
 #: Study registry for JSON specs and the CLI.
 STUDIES: Dict[str, Callable[[TrialSpec], TrialResult]] = {
     "availability": availability_trial,
     "scaling": scaling_trial,
     "scenario": scenario_trial,
+    "pipeline": pipeline_trial,
 }
 
 
@@ -273,6 +334,33 @@ def x10_scaling_spec(
         runner=scaling_trial,
         axes={"node_count": tuple(node_counts)},
         fixed={"orders": orders},
+        repeats=repeats,
+        base_seed=base_seed,
+    )
+
+
+def pipeline_load_spec(
+    orders: Sequence[int] = (8, 16, 32, 64),
+    repeats: int = 1,
+    base_seed: int = 970,
+    round_size: int = 8,
+    topology: str = "testbed",
+    **fixed: Any,
+) -> SweepSpec:
+    """The pipeline study: accept/defer/block rates vs offered load.
+
+    Sweeps the size of a same-instant order burst through the intake
+    pipeline on the chosen topology, showing where the round scheduler
+    starts deferring and blocking as the burst outgrows the installed
+    wavelengths and transponders.
+    """
+    merged: Dict[str, Any] = {"round_size": round_size, "topology": topology}
+    merged.update(fixed)
+    return SweepSpec(
+        name="pipeline-load",
+        runner=pipeline_trial,
+        axes={"orders": tuple(orders)},
+        fixed=merged,
         repeats=repeats,
         base_seed=base_seed,
     )

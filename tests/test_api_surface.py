@@ -27,6 +27,7 @@ PUBLIC_MODULES = [
     "repro.optical",
     "repro.optical.osnr",
     "repro.otn",
+    "repro.pipeline",
     "repro.sim",
     "repro.topo",
     "repro.units",

@@ -1,0 +1,215 @@
+"""Sharded-controller perf report: emits ``BENCH_shard.json``.
+
+Measures order-planning throughput on a 512-PoP continental topology
+at three shard counts — one monolithic 512-PoP region, 4 regions of
+128 PoPs, and 16 regions of 32 PoPs — each as a ``shard-plan`` sweep
+(:func:`repro.shard.bench.shard_plan_spec`) run two ways:
+
+* **single-process** — every shard's workload planned serially in one
+  process (``run_sweep(spec, jobs=1)``);
+* **process-parallel** — one worker process per shard
+  (``run_sweep(spec, jobs=len(units))``).
+
+Total offered orders are held (approximately) constant across shard
+counts, so orders/sec compares the same work.  The headline number is
+the 4-shard process-parallel run against the 1-shard monolith: Yen's
+k-shortest-path enumeration on the 512-node mesh is far more than 4x
+the cost of the same enumeration on four 128-node meshes, so sharding
+wins even before process parallelism — the report records both so the
+two effects are separable.
+
+Both runs of every config must produce byte-identical aggregates
+(plans, fingerprints, counters); the report records that check, and the
+CI determinism gate re-asserts it.
+
+Per-order plan latency percentiles come from directly timed
+``plan_batch`` calls on standalone units (build cost excluded), the
+same workload the sweep plans.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/shard_report.py [output.json]
+
+The measurement helpers are also imported by
+``benchmarks/test_perf_shard.py`` so the perf assertion and the report
+share one methodology.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.shard.bench import (
+    bench_workload,
+    shard_plan_spec,
+    shard_units,
+)
+from repro.shard.unit import build_express_unit, build_region_unit
+from repro.sweep.engine import run_sweep
+from repro.topo.hierarchy import EXPRESS
+
+#: (regions, pops_per_region) at a constant 512 PoPs total.
+CONFIGS = ((1, 512), (4, 128), (16, 32))
+
+#: Total offered orders per config (split across units and rounds).
+TOTAL_ORDERS = 128
+
+#: Scheduling rounds per unit (occupancy accumulates between rounds).
+ROUNDS = 2
+
+#: Default output path: the repository root.
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+
+def _orders_per_round(regions: int, total_orders: int, rounds: int) -> int:
+    """Split the offered load evenly over units and rounds."""
+    return max(1, total_orders // (rounds * len(shard_units(regions))))
+
+
+def _build_unit(unit_name: str, topology_seed: int, regions: int,
+                pops_per_region: int):
+    if unit_name == EXPRESS:
+        return build_express_unit(regions, 2, pops_per_region)
+    return build_region_unit(topology_seed, unit_name, pops_per_region)
+
+
+def plan_latency_ms(
+    topology_seed: int,
+    regions: int,
+    pops_per_region: int,
+    rounds: int,
+    orders_per_round: int,
+) -> List[float]:
+    """Directly timed per-order plan latencies (ms), every unit's rounds.
+
+    Units are built outside the timed section; each sample is one
+    ``plan_batch`` call's wall-clock divided by its order count.
+    """
+    samples: List[float] = []
+    for unit_name in shard_units(regions):
+        unit = _build_unit(unit_name, topology_seed, regions, pops_per_region)
+        sequence = 0
+        for requests in bench_workload(
+            unit, topology_seed, rounds, orders_per_round
+        ):
+            start = time.perf_counter()
+            items = unit.plan_batch(requests)
+            elapsed = time.perf_counter() - start
+            samples.append(elapsed * 1000.0 / len(requests))
+            for item in items:
+                if item.ok:
+                    unit.occupy_plan(item.plan, f"bench-{sequence}")
+                sequence += 1
+    return samples
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def measure_config(
+    regions: int,
+    pops_per_region: int,
+    topology_seed: int = 2026,
+    total_orders: int = TOTAL_ORDERS,
+    rounds: int = ROUNDS,
+) -> Dict[str, object]:
+    """One shard count's throughput, determinism check, and latency."""
+    units = shard_units(regions)
+    orders_per_round = _orders_per_round(regions, total_orders, rounds)
+    spec = shard_plan_spec(
+        topology_seed=topology_seed,
+        regions=regions,
+        pops_per_region=pops_per_region,
+        rounds=rounds,
+        orders_per_round=orders_per_round,
+    )
+    single = run_sweep(spec, jobs=1)
+    parallel = run_sweep(spec, jobs=len(units))
+    orders = sum(t.values["orders"] for t in single.results)
+    planned = sum(t.values["planned"] for t in single.results)
+    latencies = plan_latency_ms(
+        topology_seed, regions, pops_per_region, rounds, orders_per_round
+    )
+    return {
+        "regions": regions,
+        "pops_per_region": pops_per_region,
+        "total_pops": regions * pops_per_region,
+        "units": len(units),
+        "orders": orders,
+        "planned": planned,
+        "blocked": orders - planned,
+        "single_process_orders_per_sec": orders / single.elapsed_s,
+        "process_parallel_orders_per_sec": orders / parallel.elapsed_s,
+        "deterministic": single.to_json() == parallel.to_json(),
+        "plan_latency_p50_ms": _percentile(latencies, 0.50),
+        "plan_latency_p95_ms": _percentile(latencies, 0.95),
+        "plan_latency_mean_ms": statistics.fmean(latencies),
+    }
+
+
+def collect_measurements(
+    topology_seed: int = 2026,
+    total_orders: int = TOTAL_ORDERS,
+    rounds: int = ROUNDS,
+    configs=CONFIGS,
+) -> List[Dict[str, object]]:
+    """Measure every shard count at a constant 512-PoP scale."""
+    return [
+        measure_config(
+            regions,
+            pops_per_region,
+            topology_seed=topology_seed,
+            total_orders=total_orders,
+            rounds=rounds,
+        )
+        for regions, pops_per_region in configs
+    ]
+
+
+def write_report(path: Path, results: List[Dict[str, object]]) -> None:
+    """Serialize the measurements (plus context) as JSON."""
+    baseline = results[0]["process_parallel_orders_per_sec"]
+    report = {
+        "benchmark": "shard-continental-planning",
+        "schema_version": 1,
+        "total_orders": TOTAL_ORDERS,
+        "rounds": ROUNDS,
+        "results": results,
+        "speedup_vs_monolith": {
+            str(row["regions"]): (
+                row["process_parallel_orders_per_sec"] / baseline
+            )
+            for row in results
+        },
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def main(argv: List[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    results = collect_measurements()
+    baseline = results[0]["process_parallel_orders_per_sec"]
+    for row in results:
+        print(
+            f"{row['regions']:>3} shard(s) x {row['pops_per_region']} PoPs: "
+            f"single {row['single_process_orders_per_sec']:8.1f} orders/s, "
+            f"parallel {row['process_parallel_orders_per_sec']:8.1f} orders/s "
+            f"({row['process_parallel_orders_per_sec'] / baseline:5.1f}x), "
+            f"p95 {row['plan_latency_p95_ms']:7.2f} ms, "
+            f"deterministic: {row['deterministic']}"
+        )
+    write_report(output, results)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

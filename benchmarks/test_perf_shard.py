@@ -1,0 +1,61 @@
+"""Perf benchmark for the sharded continental controller.
+
+A constant 512-PoP topology planned as one monolithic 512-node shard
+versus four 128-node region shards (plus the express shard), each run
+process-parallel through the sweep engine.  The acceptance bar is
+>= 2x orders/sec for the 4-shard deployment; the determinism assertion
+proves both job counts of every config produce byte-identical
+aggregates.  ``benchmarks/shard_report.py`` emits the full measurement
+(including the 16-shard point and latency percentiles) as
+``BENCH_shard.json``.
+"""
+
+from benchmarks.harness import print_rows
+from benchmarks.shard_report import collect_measurements
+
+
+def test_perf_shard_planning(benchmark):
+    results = benchmark.pedantic(
+        lambda: collect_measurements(
+            total_orders=64, configs=((1, 512), (4, 128))
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    mono, sharded = results
+    speedup = (
+        sharded["process_parallel_orders_per_sec"]
+        / mono["process_parallel_orders_per_sec"]
+    )
+    print_rows(
+        "Shard: monolithic 512-PoP vs 4x128 process-parallel planning",
+        [
+            ["config", "orders/sec (parallel)", "p95 latency (ms)"],
+            [
+                "1 x 512",
+                f"{mono['process_parallel_orders_per_sec']:.1f}",
+                f"{mono['plan_latency_p95_ms']:.2f}",
+            ],
+            [
+                "4 x 128",
+                f"{sharded['process_parallel_orders_per_sec']:.1f}",
+                f"{sharded['plan_latency_p95_ms']:.2f}",
+            ],
+            ["speedup", f"{speedup:.2f}x", ""],
+        ],
+    )
+    benchmark.extra_info.update(
+        {
+            "speedup": speedup,
+            "deterministic": mono["deterministic"]
+            and sharded["deterministic"],
+        }
+    )
+
+    # Same aggregate regardless of worker processes...
+    assert mono["deterministic"], mono
+    assert sharded["deterministic"], sharded
+    assert mono["planned"] > 0 and sharded["planned"] > 0
+    # ...and the 4-shard deployment clears the 2x throughput bar.
+    assert speedup >= 2.0, results

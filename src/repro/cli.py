@@ -187,6 +187,7 @@ def cmd_operator(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run an experiment sweep, serially or across worker processes."""
+    from repro.shard.bench import shard_plan_spec
     from repro.sweep import (
         SweepSpec,
         pipeline_load_spec,
@@ -201,6 +202,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec = x10_scaling_spec(repeats=args.repeats)
     elif args.study == "pipeline":
         spec = pipeline_load_spec(repeats=args.repeats)
+    elif args.study == "shard":
+        spec = shard_plan_spec(topology_seed=args.seed)
     else:
         spec_data = json.loads(Path(args.study).read_text())
         spec = SweepSpec.from_dict(spec_data)
@@ -256,9 +259,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         if outcome is not None:
             line += f"  [{outcome}]"
         print(line)
+    net.controller.export_route_cache_counters()
     counters = net.metrics.counters()
     for name in sorted(counters):
-        if name.startswith(("ems.retry", "ems.breaker", "faults.")):
+        if name.startswith(
+            ("ems.retry", "ems.breaker", "faults.", "rwa.route_cache.")
+        ):
             print(f"  {name} = {counters[name]}")
     mid_report = audit_network(net.controller)
     print(f"  mid-run {mid_report.summary()}")
@@ -370,6 +376,83 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Place cross-region orders on the sharded continental network."""
+    from repro.core.admission import CustomerProfile
+    from repro.shard import build_sharded_network, outcome_fingerprint
+    from repro.topo.hierarchy import build_hierarchy
+    from repro.units import GBPS
+
+    hierarchy = build_hierarchy(
+        seed=args.seed,
+        regions=args.regions,
+        pops_per_region=args.pops,
+        with_premises=True,
+    )
+    region_names = sorted(hierarchy.regions)
+    requests = []
+    for index in range(args.orders):
+        info_a = hierarchy.regions[region_names[index % len(region_names)]]
+        info_b = hierarchy.regions[
+            region_names[(index + 1) % len(region_names)]
+        ]
+        a = info_a.premises[index % len(info_a.premises)]
+        b = info_b.premises[(index * 3 + 1) % len(info_b.premises)]
+        requests.append(("cli-demo", a, b, 10 * GBPS))
+    modes = (
+        ("sharded", "monolithic") if args.mode == "both" else (args.mode,)
+    )
+    fingerprints: Dict[str, str] = {}
+    payload: Dict[str, dict] = {}
+    for mode in modes:
+        net = build_sharded_network(seed=args.seed, mode=mode,
+                                    hierarchy=hierarchy)
+        net.register_customer(
+            CustomerProfile(
+                "cli-demo",
+                max_connections=4096,
+                max_total_rate_bps=10000000 * GBPS,
+            )
+        )
+        orders = net.place_orders(requests)
+        net.run()
+        fingerprints[mode] = outcome_fingerprint(orders)
+        audits = net.audit_shards()
+        up = sum(1 for o in orders if o.state.value == "up")
+        print(
+            f"{mode}: {len(orders)} order(s) over {args.regions} region(s) "
+            f"x {args.pops} PoP(s), {up} up, "
+            f"{len(orders) - up} blocked"
+        )
+        for order in orders:
+            units = " + ".join(r["unit"] for r in order.plan_record) or "-"
+            line = (f"  {order.order_id}: {order.premises_a} <-> "
+                    f"{order.premises_b}  {order.state.value}  [{units}]")
+            if order.blocked_reason:
+                line += f"  - {order.blocked_reason}"
+            print(line)
+        for unit in sorted(audits):
+            print(f"  audit {unit}: {audits[unit].summary()}")
+        for unit, stats in sorted(net.route_cache_stats().items()):
+            print(
+                f"  route-cache {unit}: hits={stats['hits']} "
+                f"misses={stats['misses']} evictions={stats['evictions']}"
+            )
+        print(f"  fingerprint {fingerprints[mode]}")
+        payload[mode] = {
+            "orders": {o.order_id: o.state.value for o in orders},
+            "audits_ok": all(audits[u].ok for u in audits),
+            "fingerprint": fingerprints[mode],
+        }
+    matched = len(set(fingerprints.values())) == 1
+    if args.mode == "both":
+        print(f"fingerprints match: {matched}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote shard report to {args.json}")
+    return 0 if matched else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -414,7 +497,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "study",
-        help="built-in study (x9, x10, pipeline) or path to a JSON sweep spec",
+        help="built-in study (x9, x10, pipeline, shard) or path to a JSON "
+        "sweep spec",
     )
     sweep.add_argument(
         "--jobs", type=int, default=1,
@@ -487,6 +571,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="write the ticket report to this file"
     )
     pipe.set_defaults(func=cmd_pipeline)
+    shard = sub.add_parser(
+        "shard",
+        help="place cross-region orders on the sharded continental network",
+    )
+    shard.add_argument(
+        "--regions", type=int, default=4, help="region count (default 4)"
+    )
+    shard.add_argument(
+        "--pops", type=int, default=8,
+        help="PoPs per region (default 8)",
+    )
+    shard.add_argument(
+        "--orders", type=int, default=6,
+        help="cross-region orders to place (default 6)",
+    )
+    shard.add_argument(
+        "--mode", choices=("sharded", "monolithic", "both"),
+        default="sharded",
+        help="deployment to run; 'both' also compares fingerprints",
+    )
+    shard.add_argument(
+        "--json", default=None, help="write the shard report to this file"
+    )
+    shard.set_defaults(func=cmd_shard)
     sub.add_parser(
         "operator", help="print the carrier operator network view"
     ).set_defaults(func=cmd_operator)

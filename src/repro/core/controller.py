@@ -26,7 +26,7 @@ from repro.core.connection import Connection, ConnectionKind, ConnectionState
 from repro.core.grooming import GroomingEngine
 from repro.core.inventory import InventoryDatabase
 from repro.core.provisioning import LightpathProvisioner
-from repro.core.rwa import RwaEngine
+from repro.shard.unit import ShardUnit
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
@@ -136,7 +136,12 @@ class GriphonController:
             clock=sim.time_source(),
             metrics=self.metrics,
         )
-        self.rwa = RwaEngine(
+        #: The controller's planning state — graph, inventory, RWA, and
+        #: route cache — bundled as one :class:`ShardUnit`, the same
+        #: unit a region shard owns in a sharded deployment.  ``rwa``
+        #: stays as an alias because every caller plans through it.
+        self.planning = ShardUnit(
+            "controller",
             inventory,
             reach=reach,
             k_paths=k_paths,
@@ -144,6 +149,7 @@ class GriphonController:
             streams=streams,
             tracer=self.tracer,
         )
+        self.rwa = self.planning.rwa
         self.provisioner = LightpathProvisioner(
             inventory,
             self.roadm_ems,
@@ -174,6 +180,15 @@ class GriphonController:
                 else 0
             ),
         )
+        for stat in ("hits", "misses", "invalidations", "evictions"):
+            self.metrics.register_gauge(
+                f"rwa.route_cache.{stat}",
+                lambda stat=stat: (
+                    self.rwa.route_cache.stats()[stat]
+                    if self.rwa.route_cache is not None
+                    else 0
+                ),
+            )
         self.grooming = GroomingEngine(
             inventory, self.protection, line_factory=self._create_otn_line
         )
@@ -215,6 +230,28 @@ class GriphonController:
     def register_customer(self, profile: CustomerProfile) -> None:
         """Register a CSP customer with its quotas."""
         self.admission.register_customer(profile)
+
+    def export_route_cache_counters(self) -> None:
+        """Fold the route cache's counters into the metrics registry.
+
+        The cache keeps its own counters (no per-lookup registry
+        writes); this copies them into the registry's *counter* space —
+        ``rwa.route_cache.hits`` etc. — which, unlike the pull gauges,
+        survives :meth:`MetricsRegistry.state` and therefore crosses
+        sweep-worker process boundaries.  Idempotent: only the delta
+        since the last export is added, so calling it repeatedly (or
+        from both a study runner and a CLI exit path) never
+        double-counts.
+        """
+        cache = self.rwa.route_cache
+        if cache is None:
+            return
+        stats = cache.stats()
+        for stat in ("hits", "misses", "invalidations", "evictions"):
+            name = f"rwa.route_cache.{stat}"
+            delta = stats[stat] - self.metrics.counter(name)
+            if delta:
+                self.metrics.inc(name, delta)
 
     def wavelength_rates(self) -> List[float]:
         """Line rates for which any node has transponders installed."""

@@ -59,6 +59,7 @@ class RouteCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
 
     @property
     def capacity(self) -> int:
@@ -122,13 +123,14 @@ class RouteCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         self._entries.clear()
 
     def stats(self) -> dict:
-        """Hit/miss/invalidation counters plus current size."""
+        """Hit/miss/invalidation/eviction counters plus current size."""
         total = self.hits + self.misses
         return {
             "size": len(self._entries),
@@ -136,6 +138,7 @@ class RouteCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "evictions": self.evictions,
             "hit_rate": self.hits / total if total else 0.0,
         }
 

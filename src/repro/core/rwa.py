@@ -85,9 +85,12 @@ class PlanRequest:
     excluded_nodes: Tuple[str, ...] = ()
 
 
-@dataclass
 class BatchPlanItem:
     """Per-request outcome of a :meth:`RwaEngine.plan_batch` round.
+
+    A plain ``__slots__`` class rather than a dataclass: scheduling
+    rounds allocate one per order, so the per-instance ``__dict__`` is
+    measurable overhead at batch sizes in the hundreds.
 
     Attributes:
         request: The request this outcome answers.
@@ -100,15 +103,33 @@ class BatchPlanItem:
             uncontended ones are genuine blocks.
     """
 
-    request: PlanRequest
-    plan: Optional[RwaPlan] = None
-    error: Optional[GriphonError] = None
-    contended: bool = False
+    __slots__ = ("request", "plan", "error", "contended")
+
+    def __init__(
+        self,
+        request: PlanRequest,
+        plan: Optional[RwaPlan] = None,
+        error: Optional[GriphonError] = None,
+        contended: bool = False,
+    ) -> None:
+        self.request = request
+        self.plan = plan
+        self.error = error
+        self.contended = contended
 
     @property
     def ok(self) -> bool:
         """True when the request received a plan."""
         return self.plan is not None
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else (
+            "contended" if self.contended else "blocked"
+        )
+        return (
+            f"BatchPlanItem({self.request.source}->"
+            f"{self.request.destination}, {status})"
+        )
 
 
 class _PlanningRound:
@@ -138,6 +159,21 @@ class _PlanningRound:
         #: link key -> channels shadow-claimed by earlier plans this round.
         self.claimed: Dict[Tuple[str, str], Set[int]] = {}
         #: Cleared while probing whether a failure was contention-only.
+        self.overlay_on = True
+
+    def reset(self) -> None:
+        """Empty every memo and the overlay so the round can be reused.
+
+        The memoized intermediates depend on live occupancy and plant
+        state, so they cannot survive between rounds — but the dict
+        objects themselves can, saving reallocation on every scheduling
+        tick of a long-running pipeline.
+        """
+        self.routes.clear()
+        self.live.clear()
+        self.regens.clear()
+        self.free.clear()
+        self.claimed.clear()
         self.overlay_on = True
 
     def claimed_on(self, nodes: Sequence[str]) -> Set[int]:
@@ -193,6 +229,9 @@ class RwaEngine:
         else:
             self._cache = None
         self._tracer = tracer
+        # Reused (reset, not reallocated) by every plan_batch call that
+        # does not bring its own round.
+        self._round = _PlanningRound()
 
     @property
     def route_cache(self) -> Optional[RouteCache]:
@@ -251,6 +290,7 @@ class RwaEngine:
         self,
         requests: Sequence[PlanRequest],
         parent_span: Optional[Span] = None,
+        round_ctx: Optional["_PlanningRound"] = None,
     ) -> List[BatchPlanItem]:
         """Plan a scheduling round of requests with shared state.
 
@@ -267,8 +307,24 @@ class RwaEngine:
         Failures never raise; each request gets a :class:`BatchPlanItem`
         carrying either the plan or the error, with ``contended`` set
         when the request lost only to earlier claims in this round.
+
+        Args:
+            requests: The round's requests, planned in order.
+            parent_span: Tracing parent for the ``rwa.plan_batch`` span.
+            round_ctx: An externally owned round to plan under.  The
+                default (``None``) uses an engine-owned round reset at
+                entry — the common case.  Callers that split one logical
+                round across several ``plan_batch`` calls (the sharded
+                planner claiming gateway/express resources) pass their
+                own round so shadow claims accumulate across calls; the
+                caller is then responsible for resetting it between
+                logical rounds.
         """
-        round_ctx = _PlanningRound()
+        if round_ctx is None:
+            # Reuse one engine-owned round across calls: the memo dicts
+            # are cleared, not reallocated, on every scheduling tick.
+            round_ctx = self._round
+            round_ctx.reset()
         items: List[BatchPlanItem] = []
         tracer = self._tracer
         span = None

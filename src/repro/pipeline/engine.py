@@ -69,9 +69,12 @@ _TERMINAL = (
 )
 
 
-@dataclass
 class OrderTicket:
     """The customer-visible handle for one submitted order.
+
+    A ``__slots__`` class: load benchmarks allocate one per submitted
+    order, and the per-instance ``__dict__`` was the largest single
+    allocation on that path.
 
     Attributes:
         order_id: Pipeline-scoped id (``order-N``).
@@ -92,22 +95,56 @@ class OrderTicket:
             was retried.
     """
 
-    order_id: str
-    customer: str
-    premises_a: str
-    premises_b: str
-    rate_bps: float
-    state: TicketState = TicketState.QUEUED
-    connection_id: Optional[str] = None
-    reason: str = ""
-    submitted_at: float = 0.0
-    settled_at: Optional[float] = None
-    rounds_deferred: int = 0
+    __slots__ = (
+        "order_id",
+        "customer",
+        "premises_a",
+        "premises_b",
+        "rate_bps",
+        "state",
+        "connection_id",
+        "reason",
+        "submitted_at",
+        "settled_at",
+        "rounds_deferred",
+    )
+
+    def __init__(
+        self,
+        order_id: str,
+        customer: str,
+        premises_a: str,
+        premises_b: str,
+        rate_bps: float,
+        state: TicketState = TicketState.QUEUED,
+        connection_id: Optional[str] = None,
+        reason: str = "",
+        submitted_at: float = 0.0,
+        settled_at: Optional[float] = None,
+        rounds_deferred: int = 0,
+    ) -> None:
+        self.order_id = order_id
+        self.customer = customer
+        self.premises_a = premises_a
+        self.premises_b = premises_b
+        self.rate_bps = rate_bps
+        self.state = state
+        self.connection_id = connection_id
+        self.reason = reason
+        self.submitted_at = submitted_at
+        self.settled_at = settled_at
+        self.rounds_deferred = rounds_deferred
 
     @property
     def settled(self) -> bool:
         """True once the ticket reached a terminal state."""
         return self.state in _TERMINAL
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderTicket({self.order_id}, {self.premises_a}<->"
+            f"{self.premises_b}, {self.state.value})"
+        )
 
 
 @dataclass(order=True)

@@ -1,0 +1,183 @@
+"""Process-parallel shard planning on the sweep engine.
+
+The bridge between :mod:`repro.shard` and :mod:`repro.sweep`: one sweep
+*trial* is one shard planning a deterministic multi-round workload
+against its own standalone :class:`~repro.shard.unit.ShardUnit`.  The
+axis is the unit name, so ``run_sweep(shard_plan_spec(...), jobs=N)``
+plans N shards in N worker processes — and because a unit rebuilds
+deterministically from ``(topology_seed, unit name, params)``, the
+worker ships a tiny picklable recipe instead of a live network.
+
+Everything a trial returns is simulation-determined (plan counts, a
+structural fingerprint of every plan, route-cache counters), so the
+sweep aggregate stays byte-identical between ``jobs=1`` and ``jobs=N``
+— the same differential guarantee the rest of the sweep engine gives.
+Wall-clock throughput lives outside the aggregate, in
+``SweepResult.elapsed_s``, which is what ``benchmarks/shard_report.py``
+turns into orders/sec per shard count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Sequence
+
+from repro.core.rwa import PlanRequest
+from repro.sim.randomness import RandomStreams
+from repro.sweep.engine import TrialResult
+from repro.sweep.spec import SweepSpec, TrialSpec
+from repro.topo.hierarchy import EXPRESS, region_name
+from repro.shard.unit import ShardUnit, build_express_unit, build_region_unit
+from repro.units import GBPS
+
+
+def bench_workload(
+    unit: ShardUnit,
+    topology_seed: int,
+    rounds: int,
+    orders_per_round: int,
+):
+    """Yield per-round request lists, deterministic per (seed, unit).
+
+    Pairs are drawn from the unit's own spawned stream family
+    (``spawn("bench:<unit>")``), so a worker process reproduces exactly
+    the workload the parent would have generated — no two units share a
+    substream.
+    """
+    nodes = sorted(node.name for node in unit.graph.nodes)
+    streams = RandomStreams(topology_seed).spawn(f"bench:{unit.name}")
+    for _ in range(rounds):
+        requests = []
+        for _ in range(orders_per_round):
+            a = streams.choice("pairs", nodes)
+            b = streams.choice("pairs", nodes)
+            while b == a:
+                b = streams.choice("pairs", nodes)
+            requests.append(PlanRequest(a, b, 10 * GBPS))
+        yield requests
+
+
+def shard_plan_trial(trial: TrialSpec) -> TrialResult:
+    """Plan one shard's batched workload; the shard-throughput runner.
+
+    Rebuilds the trial's unit standalone from ``topology_seed`` and the
+    hierarchy parameters, then runs ``rounds`` scheduling rounds of
+    ``orders_per_round`` batched plans, lighting each successful plan's
+    channels between rounds so later rounds plan against real occupancy.
+    """
+    params = trial.params
+    unit_name = str(params["unit"])
+    topology_seed = int(params["topology_seed"])
+    regions = int(params["regions"])
+    pops_per_region = int(params["pops_per_region"])
+    gateways_per_region = int(params.get("gateways_per_region", 2))
+    rounds = int(params.get("rounds", 4))
+    orders_per_round = int(params.get("orders_per_round", 16))
+    grid_size = int(params.get("grid_size", 80))
+    k_paths = int(params.get("k_paths", 4))
+    if unit_name == EXPRESS:
+        unit = build_express_unit(
+            regions,
+            gateways_per_region,
+            pops_per_region,
+            grid_size=grid_size,
+            k_paths=k_paths,
+        )
+    else:
+        unit = build_region_unit(
+            topology_seed,
+            unit_name,
+            pops_per_region,
+            grid_size=grid_size,
+            k_paths=k_paths,
+        )
+    planned = blocked = sequence = 0
+    digest = hashlib.sha256()
+    for requests in bench_workload(
+        unit, topology_seed, rounds, orders_per_round
+    ):
+        for item in unit.plan_batch(requests):
+            request = item.request
+            if item.ok:
+                unit.occupy_plan(item.plan, f"bench-{sequence}")
+                planned += 1
+                digest.update(
+                    repr(
+                        (
+                            request.source,
+                            request.destination,
+                            tuple(item.plan.path),
+                            tuple(s.channel for s in item.plan.segments),
+                            tuple(item.plan.regen_sites),
+                        )
+                    ).encode("utf-8")
+                )
+            else:
+                blocked += 1
+                digest.update(
+                    repr(
+                        (
+                            request.source,
+                            request.destination,
+                            type(item.error).__name__,
+                        )
+                    ).encode("utf-8")
+                )
+            sequence += 1
+    cache = unit.route_cache_stats()
+    return TrialResult(
+        values={
+            "unit": unit_name,
+            "nodes": len(unit.graph.nodes),
+            "planned": planned,
+            "blocked": blocked,
+            "orders": planned + blocked,
+            "fingerprint": digest.hexdigest(),
+            "route_cache_hits": cache["hits"],
+            "route_cache_misses": cache["misses"],
+            "route_cache_evictions": cache["evictions"],
+        }
+    )
+
+
+def shard_units(regions: int) -> Sequence[str]:
+    """The unit names of an N-region hierarchy (express when N >= 2)."""
+    names = [region_name(index) for index in range(regions)]
+    if regions >= 2:
+        names.append(EXPRESS)
+    return names
+
+
+def shard_plan_spec(
+    topology_seed: int = 0,
+    regions: int = 4,
+    pops_per_region: int = 8,
+    gateways_per_region: int = 2,
+    rounds: int = 4,
+    orders_per_round: int = 16,
+    base_seed: int = 840,
+    **fixed: Any,
+) -> SweepSpec:
+    """A sweep planning every shard of one hierarchy, one trial per unit.
+
+    ``run_sweep(spec, jobs=1)`` is the single-process baseline;
+    ``jobs=len(units)`` plans all shards process-parallel.  Both produce
+    the identical aggregate (plan fingerprints included), which the
+    shard differential test pins.
+    """
+    merged: Dict[str, Any] = {
+        "topology_seed": topology_seed,
+        "regions": regions,
+        "pops_per_region": pops_per_region,
+        "gateways_per_region": gateways_per_region,
+        "rounds": rounds,
+        "orders_per_round": orders_per_round,
+    }
+    merged.update(fixed)
+    return SweepSpec(
+        name="shard-plan",
+        runner=shard_plan_trial,
+        axes={"unit": tuple(shard_units(regions))},
+        fixed=merged,
+        base_seed=base_seed,
+    )

@@ -1,0 +1,744 @@
+"""Sharded continental control: per-region controllers stitched at gateways.
+
+A :class:`ShardedNetwork` serves a 3-tier :class:`~repro.topo.hierarchy.
+Hierarchy` with one :class:`GriphonController` per planning unit — one
+per region plus one for the express tier — all sharing a single
+simulator.  A cross-region order is decomposed by the
+:class:`~repro.shard.planner.ShardPlanner` into per-unit segments,
+claimed synchronously unit by unit (with reverse unwind on any claim
+failure), and set up segment by segment through each unit's provisioning
+saga.  A segment whose saga rolls back mid-setup unwinds the whole
+order: already-UP segments are torn down, every claim is released, and
+the order settles BLOCKED with zero residue in *any* shard — the same
+guarantee the monolithic controller gives a single-segment order.
+
+**Ownership partitioning.**  Every resource belongs to exactly one
+unit.  A gateway PoP appears in two inventories — its region's (metro
+side) and the express tier's (long-haul side) — but with disjoint
+hardware: separate transponder/regen pools, separate FXCs, separate
+ROADM ports.  Region link sets and the express link set are disjoint by
+construction, so per-unit planning rounds can never shadow-claim the
+same fiber channel, and two shards can never double-claim a gateway or
+express resource.  The flip side: the partitioned pools can exhaust
+independently where a monolithic shared pool would not, so differential
+workloads must stay below transponder exhaustion.
+
+**The monolithic twin.**  ``mode="monolithic"`` builds one controller
+over the full 3-tier graph with the same total equipment (gateways get
+the doubled complement: region-side plus express-side hardware), and
+routes every segment through the *same* decomposition with per-segment
+node/link exclusions confining candidate routes to the owning unit's
+subgraph.  Identical candidate routes + identical first-fit channel
+scans + identical claim order mean identical structural outcomes,
+which :func:`outcome_fingerprint` hashes for the differential test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.admission import AdmissionControl, CustomerProfile
+from repro.core.connection import Connection, ConnectionKind, ConnectionState
+from repro.core.controller import GriphonController
+from repro.core.inventory import InventoryDatabase
+from repro.core.rwa import PlanRequest, RwaPlan, _PlanningRound
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    GriphonError,
+)
+from repro.faults.audit import AuditReport, audit_network
+from repro.faults.plan import FaultPlan
+from repro.optical.lightpath import LightpathState
+from repro.optical.wavelength import WavelengthGrid
+from repro.shard.planner import SegmentSpec, ShardPlanner
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.randomness import RandomStreams
+from repro.topo.hierarchy import EXPRESS, Hierarchy, build_hierarchy
+from repro.units import GBPS
+
+
+class _OrderSegment:
+    """One claimed segment of an order: its spec and its lightpath."""
+
+    __slots__ = ("spec", "lightpath", "include_fxc")
+
+    def __init__(self, spec: SegmentSpec, lightpath, include_fxc: bool) -> None:
+        self.spec = spec
+        self.lightpath = lightpath
+        self.include_fxc = include_fxc
+
+
+class ShardOrder:
+    """A cross-shard order: one customer request, many unit segments.
+
+    Attributes:
+        order_id: Unique id across the sharded network.
+        state: Customer-visible state, same enum the monolithic
+            controller uses (REQUESTED/SETTING_UP/UP/BLOCKED/...).
+        children: Per-unit child :class:`Connection` records — each
+            registered with its unit's controller so that shard's
+            invariant audit sees a live owner for every claim.
+        segments: The claimed lightpath segments, in path order.
+        plan_record: Structural planning outcome (unit, path, channels,
+            regen sites) captured at plan time — what the differential
+            fingerprint hashes, stable even for later-blocked orders.
+    """
+
+    __slots__ = (
+        "order_id", "customer", "premises_a", "premises_b", "rate_bps",
+        "state", "blocked_reason", "children", "segments", "plan_record",
+        "up_at", "released_at",
+    )
+
+    def __init__(
+        self,
+        order_id: str,
+        customer: str,
+        premises_a: str,
+        premises_b: str,
+        rate_bps: float,
+    ) -> None:
+        self.order_id = order_id
+        self.customer = customer
+        self.premises_a = premises_a
+        self.premises_b = premises_b
+        self.rate_bps = rate_bps
+        self.state = ConnectionState.REQUESTED
+        self.blocked_reason = ""
+        self.children: Dict[str, Connection] = {}
+        self.segments: List[_OrderSegment] = []
+        self.plan_record: List[dict] = []
+        self.up_at: Optional[float] = None
+        self.released_at: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardOrder({self.order_id} [{self.state.value}] "
+            f"{self.premises_a} <-> {self.premises_b})"
+        )
+
+
+def outcome_fingerprint(orders: Sequence[ShardOrder]) -> str:
+    """A structural digest of a batch of orders' outcomes.
+
+    Hashes, per order: final state, blocked reason, and per segment the
+    owning unit, node path, channel per regen-free hop, and regen sites.
+    Deliberately excludes every sequence-assigned identifier (lightpath,
+    OT, connection ids) and every timing — those differ between the
+    sharded and monolithic deployments even when the outcomes agree.
+    """
+    payload = []
+    for order in orders:
+        payload.append(
+            {
+                "order": order.order_id,
+                "state": order.state.value,
+                "reason": order.blocked_reason,
+                "segments": order.plan_record,
+            }
+        )
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+class ShardedNetwork:
+    """Per-unit controllers over a hierarchy, or their monolithic twin.
+
+    Args:
+        hierarchy: The built 3-tier topology (must have premises).
+        mode: ``"sharded"`` (one controller per region + express) or
+            ``"monolithic"`` (one controller over the full graph).
+        seed: Seeds each controller's random-stream family.
+        transponders_10g / regens_10g: Per-node complement per unit
+            (monolithic gateways get double — both units' hardware).
+        grid_size: DWDM channels per fiber.
+        k_paths: Candidate routes per segment plan.
+        fault_plans: Optional per-unit fault plans, keyed by unit name
+            (region name or :data:`EXPRESS`).  The monolithic twin merges
+            them into its single controller.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        mode: str = "sharded",
+        seed: int = 0,
+        transponders_10g: int = 8,
+        regens_10g: int = 4,
+        grid_size: int = 80,
+        k_paths: int = 4,
+        fault_plans: Optional[Dict[str, FaultPlan]] = None,
+    ) -> None:
+        if mode not in ("sharded", "monolithic"):
+            raise ConfigurationError(
+                f"mode must be 'sharded' or 'monolithic', got {mode!r}"
+            )
+        self.hierarchy = hierarchy
+        self.mode = mode
+        self.sim = Simulator()
+        self.planner = ShardPlanner(hierarchy)
+        self.admission = AdmissionControl()
+        self.orders: Dict[str, ShardOrder] = {}
+        self._order_seq = itertools.count()
+        self._streams = RandomStreams(seed)
+        self._prefix = hierarchy.params.get("premises_prefix", "DC-")
+        fault_plans = fault_plans or {}
+        #: unit name -> the controller planning/claiming for that unit.
+        self._unit_controller: Dict[str, GriphonController] = {}
+        if mode == "sharded":
+            for name in hierarchy.region_names:
+                controller = self._build_controller(
+                    name,
+                    hierarchy.region_graph(name),
+                    transponders_10g,
+                    regens_10g,
+                    grid_size,
+                    k_paths,
+                    fault_plans.get(name),
+                )
+                self._unit_controller[name] = controller
+            if hierarchy.express_links:
+                self._unit_controller[EXPRESS] = self._build_controller(
+                    EXPRESS,
+                    hierarchy.express_graph(),
+                    transponders_10g,
+                    regens_10g,
+                    grid_size,
+                    k_paths,
+                    fault_plans.get(EXPRESS),
+                )
+        else:
+            merged = FaultPlan()
+            for plan in fault_plans.values():
+                for spec in plan.specs:
+                    merged.add(spec)
+            controller = self._build_controller(
+                "mono",
+                hierarchy.graph,
+                transponders_10g,
+                regens_10g,
+                grid_size,
+                k_paths,
+                merged if merged.specs else None,
+                gateway_scale=2,
+            )
+            for name in hierarchy.unit_names():
+                self._unit_controller[name] = controller
+
+    def _build_controller(
+        self,
+        label: str,
+        graph,
+        transponders_10g: int,
+        regens_10g: int,
+        grid_size: int,
+        k_paths: int,
+        fault_plan: Optional[FaultPlan],
+        gateway_scale: int = 1,
+    ) -> GriphonController:
+        """Equip one unit's inventory and stand up its controller.
+
+        ``gateway_scale=2`` (the monolithic twin) installs the doubled
+        complement at gateways: the region-side plus express-side
+        hardware that two separate inventories hold in sharded mode.
+        """
+        inventory = InventoryDatabase(graph, WavelengthGrid(grid_size))
+        gateways = set(self.hierarchy.gateways())
+        for node in graph.nodes:
+            if node.kind == "premises":
+                continue
+            scale = gateway_scale if node.name in gateways else 1
+            inventory.install_roadm(node.name, add_drop_ports=16 * scale)
+            inventory.install_transponders(
+                node.name, 10 * GBPS, transponders_10g * scale
+            )
+            inventory.install_regens(node.name, 10 * GBPS, regens_10g * scale)
+            inventory.install_fxc(node.name, port_count=32 * scale)
+        for node in graph.nodes:
+            if node.kind != "premises":
+                continue
+            pop = node.name[len(self._prefix):]
+            inventory.install_nte(
+                node.name, pop, interface_rate_bps=10 * GBPS,
+                interface_count=8,
+            )
+        return GriphonController(
+            self.sim,
+            inventory,
+            self._streams.spawn(f"controller:{label}"),
+            k_paths=k_paths,
+            auto_restore=False,
+            fault_plan=fault_plan,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def controllers(self) -> Dict[str, GriphonController]:
+        """Unit name -> controller (all the same object in monolithic)."""
+        return dict(self._unit_controller)
+
+    def controller_of(self, unit: str) -> GriphonController:
+        """The controller serving planning unit ``unit``."""
+        return self._unit_controller[unit]
+
+    def register_customer(self, profile: CustomerProfile) -> None:
+        """Register a CSP customer with the network-wide admission."""
+        self.admission.register_customer(profile)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Advance the shared simulator."""
+        return self.sim.run(until=until)
+
+    def audit_shards(self) -> Dict[str, "AuditReport"]:
+        """Run the invariant auditor on every shard.
+
+        Returns ``{unit: AuditReport}`` — every report ``ok`` on a
+        healthy network.  In monolithic mode the single controller is
+        audited once, under the key ``"mono"``.
+        """
+        results: Dict[str, "AuditReport"] = {}
+        seen = set()
+        for unit, controller in self._unit_controller.items():
+            if id(controller) in seen:
+                continue
+            seen.add(id(controller))
+            key = unit if self.mode == "sharded" else "mono"
+            results[key] = audit_network(controller)
+        return results
+
+    def route_cache_stats(self) -> Dict[str, dict]:
+        """Per-unit route-cache counters (one entry in monolithic mode)."""
+        stats: Dict[str, dict] = {}
+        seen = set()
+        for unit, controller in self._unit_controller.items():
+            if id(controller) in seen:
+                continue
+            seen.add(id(controller))
+            key = unit if self.mode == "sharded" else "mono"
+            stats[key] = controller.planning.route_cache_stats()
+        return stats
+
+    # -- order intake ---------------------------------------------------------
+
+    def place_order(
+        self,
+        customer: str,
+        premises_a: str,
+        premises_b: str,
+        rate_bps: float = 10 * GBPS,
+    ) -> ShardOrder:
+        """Place one order (a single-order planning round)."""
+        return self.place_orders([(customer, premises_a, premises_b, rate_bps)])[0]
+
+    def place_orders(
+        self, requests: Sequence[Tuple[str, str, str, float]]
+    ) -> List[ShardOrder]:
+        """Place a batch of orders as one logical planning round.
+
+        All requests are decomposed and planned against per-unit
+        planning rounds whose shadow-claim overlays accumulate across
+        the whole batch — two orders in the same round can never be
+        promised the same gateway/express channel, in either deployment
+        mode.  Claiming is immediate (inventory bookkeeping); the EMS
+        setup workflows run on the shared simulator.
+        """
+        rounds: Dict[str, _PlanningRound] = {
+            unit: _PlanningRound() for unit in self._unit_controller
+        }
+        return [
+            self._place(customer, premises_a, premises_b, rate_bps, rounds)
+            for customer, premises_a, premises_b, rate_bps in requests
+        ]
+
+    def teardown_order(self, order: ShardOrder) -> ShardOrder:
+        """Tear an UP order down across every shard it touches."""
+        if order.state is not ConnectionState.UP:
+            raise ConfigurationError(
+                f"{order.order_id} is {order.state.value}; teardown needs UP"
+            )
+        order.state = ConnectionState.TEARING_DOWN
+        for child in order.children.values():
+            child.transition(ConnectionState.TEARING_DOWN)
+        Process(
+            self.sim,
+            self._teardown_workflow(order),
+            label=f"shard-teardown:{order.order_id}",
+        )
+        return order
+
+    # -- order internals ------------------------------------------------------
+
+    def _place(
+        self,
+        customer: str,
+        premises_a: str,
+        premises_b: str,
+        rate_bps: float,
+        rounds: Dict[str, _PlanningRound],
+    ) -> ShardOrder:
+        order = ShardOrder(
+            f"xo-{next(self._order_seq)}",
+            customer,
+            premises_a,
+            premises_b,
+            rate_bps,
+        )
+        self.orders[order.order_id] = order
+        try:
+            self.admission.admit(customer, premises_a, premises_b, rate_bps)
+        except AdmissionError as exc:
+            return self._block(order, exc, admitted=False)
+        try:
+            specs = self.planner.decompose(
+                self._pop_of(premises_a),
+                self._pop_of(premises_b),
+                monolithic=self.mode == "monolithic",
+            )
+            plans = self._plan_segments(order, specs, rate_bps, rounds)
+        except GriphonError as exc:
+            return self._block(order, exc, admitted=True)
+        try:
+            self._claim(order, specs, plans)
+        except GriphonError as exc:
+            return self._block(order, exc, admitted=True)
+        for child in order.children.values():
+            child.transition(ConnectionState.SETTING_UP)
+        order.state = ConnectionState.SETTING_UP
+        Process(
+            self.sim,
+            self._setup_workflow(order),
+            label=f"shard-setup:{order.order_id}",
+        )
+        return order
+
+    def _pop_of(self, premises: str) -> str:
+        """The PoP a premises hangs off (pure naming, mode-independent)."""
+        if not premises.startswith(self._prefix):
+            raise ConfigurationError(f"unknown premises {premises!r}")
+        return premises[len(self._prefix):]
+
+    def _block(
+        self, order: ShardOrder, exc: Exception, admitted: bool
+    ) -> ShardOrder:
+        if admitted:
+            self.admission.release(order.customer, order.rate_bps)
+        order.state = ConnectionState.BLOCKED
+        order.blocked_reason = str(exc)
+        return order
+
+    def _plan_segments(
+        self,
+        order: ShardOrder,
+        specs: List[SegmentSpec],
+        rate_bps: float,
+        rounds: Dict[str, _PlanningRound],
+    ) -> List[RwaPlan]:
+        """Plan every segment against its unit's accumulated round.
+
+        Each segment plans through ``plan_batch`` with the round's
+        shadow-claim overlay, so earlier orders in the batch (and
+        earlier segments of this order) already hold their channels.
+        A failed segment blocks the whole order; the channels its
+        sibling segments shadow-claimed stay claimed for the rest of
+        the round — conservative, but identical in both modes.
+        """
+        plans: List[RwaPlan] = []
+        for spec in specs:
+            controller = self._unit_controller[spec.unit]
+            request = PlanRequest(
+                spec.source,
+                spec.destination,
+                rate_bps,
+                excluded_links=tuple(spec.excluded_links),
+                excluded_nodes=tuple(spec.excluded_nodes),
+            )
+            item = controller.rwa.plan_batch(
+                [request], round_ctx=rounds[spec.unit]
+            )[0]
+            if not item.ok:
+                raise item.error
+            plans.append(item.plan)
+            order.plan_record.append(
+                {
+                    "unit": spec.unit,
+                    "path": list(item.plan.path),
+                    "channels": [
+                        segment.channel for segment in item.plan.segments
+                    ],
+                    "regens": list(item.plan.regen_sites),
+                }
+            )
+        return plans
+
+    def _child(self, order: ShardOrder, unit: str, a: str, b: str) -> Connection:
+        """Get or create the order's child connection in ``unit``'s shard."""
+        child = order.children.get(unit)
+        if child is None:
+            controller = self._unit_controller[unit]
+            child = Connection(
+                f"{order.order_id}/{unit}",
+                order.customer,
+                a,
+                b,
+                order.rate_bps,
+                ConnectionKind.WAVELENGTH,
+                requested_at=self.sim.now,
+            )
+            controller.connections[child.connection_id] = child
+            order.children[unit] = child
+        return child
+
+    def _claim(
+        self,
+        order: ShardOrder,
+        specs: List[SegmentSpec],
+        plans: List[RwaPlan],
+    ) -> None:
+        """Claim every segment's resources, unwinding in reverse on failure.
+
+        Claim order is deterministic (segments in path order, then NTE
+        ends, then FXC steering), so both deployment modes consume
+        first-fit resources identically.
+        """
+        hierarchy = self.hierarchy
+        region_a = hierarchy.region_of(order.premises_a)
+        region_b = hierarchy.region_of(order.premises_b)
+        pop_a = self._pop_of(order.premises_a)
+        pop_b = self._pop_of(order.premises_b)
+        claimed: List[_OrderSegment] = []
+        try:
+            for spec, plan in zip(specs, plans):
+                controller = self._unit_controller[spec.unit]
+                child = self._child(order, spec.unit, spec.source, spec.destination)
+                lightpath = controller.provisioner.claim(plan)
+                child.lightpath_ids.append(lightpath.lightpath_id)
+                controller._lightpath_conn[lightpath.lightpath_id] = (
+                    child.connection_id
+                )
+                claimed.append(
+                    _OrderSegment(
+                        spec, lightpath, include_fxc=spec.unit != EXPRESS
+                    )
+                )
+            order.segments = claimed
+            # Endpoint region children always exist — even when their
+            # region segment is degenerate (the premises' PoP *is* the
+            # gateway) they own the premises NTE interface and the
+            # access-side FXC steering, which live in region inventory.
+            child_a = self._child(order, region_a, pop_a, pop_a)
+            child_b = self._child(order, region_b, pop_b, pop_b)
+            for child, premises in (
+                (child_a, order.premises_a),
+                (child_b, order.premises_b),
+            ):
+                controller = self._unit_controller[self._child_unit(order, child)]
+                nte = controller.inventory.ntes[premises]
+                index = nte.claim_interface(
+                    child.connection_id, channelized=False
+                )
+                child.nte_interfaces.append(("wave", premises, index))
+            self._claim_steering(order)
+        except GriphonError:
+            self._unwind_claims(order, claimed)
+            raise
+
+    def _child_unit(self, order: ShardOrder, child: Connection) -> str:
+        for unit, candidate in order.children.items():
+            if candidate is child:
+                return unit
+        raise ConfigurationError(f"orphan child {child.connection_id}")
+
+    def _claim_steering(self, order: ShardOrder) -> None:
+        """Program the FXC stitching at endpoints and traversed gateways.
+
+        Each unit's cross-connects go through that unit's own FXCs: the
+        access signal enters at the source PoP, hands off region-OT to
+        express-OT at each gateway (two cross-connects — one per unit,
+        on that unit's gateway FXC), and exits at the destination PoP.
+        """
+        handoff = f"handoff:{order.order_id}"
+        access = f"access:{order.order_id}"
+        region_a = self.hierarchy.region_of(order.premises_a)
+        region_b = self.hierarchy.region_of(order.premises_b)
+        pop_a = self._pop_of(order.premises_a)
+        pop_b = self._pop_of(order.premises_b)
+        segments_of: Dict[str, _OrderSegment] = {
+            seg.spec.unit: seg for seg in order.segments
+        }
+        for unit, child in order.children.items():
+            controller = self._unit_controller[unit]
+            segment = segments_of.get(unit)
+            if segment is None:
+                # Degenerate endpoint region: the PoP is the gateway;
+                # steer access straight into the express handoff.
+                pop = pop_a if unit == region_a else pop_b
+                controller._steer(pop, child.connection_id, access, handoff, child)
+                continue
+            lightpath = segment.lightpath
+            source_ot, dest_ot = lightpath.ot_ids[0], lightpath.ot_ids[1]
+            source_label = access if lightpath.source == pop_a and unit == region_a else handoff
+            dest_label = access if lightpath.destination == pop_b and unit == region_b else handoff
+            controller._steer(
+                lightpath.source, child.connection_id,
+                source_label, source_ot, child,
+            )
+            controller._steer(
+                lightpath.destination, child.connection_id,
+                dest_ot, dest_label, child,
+            )
+
+    def _unwind_claims(
+        self, order: ShardOrder, claimed: List[_OrderSegment]
+    ) -> None:
+        """Release everything a partially claimed order holds, in reverse."""
+        for unit, child in order.children.items():
+            controller = self._unit_controller[unit]
+            controller._release_steering(child)
+            controller._release_nte_claims(
+                child.nte_interfaces, child.connection_id
+            )
+            child.nte_interfaces = []
+        for segment in reversed(claimed):
+            controller = self._unit_controller[segment.spec.unit]
+            controller._lightpath_conn.pop(
+                segment.lightpath.lightpath_id, None
+            )
+            controller.provisioner.release(segment.lightpath)
+        for unit, child in list(order.children.items()):
+            controller = self._unit_controller[unit]
+            del controller.connections[child.connection_id]
+        order.children = {}
+        order.segments = []
+
+    # -- simulated workflows --------------------------------------------------
+
+    def _setup_workflow(self, order: ShardOrder):
+        """Set up every segment in path order; unwind all on any abort.
+
+        Each segment runs its unit's provisioning saga.  A saga that
+        rolls back (EMS failure with retries exhausted) leaves its
+        lightpath RELEASED; this workflow then tears down the already-UP
+        segments of *other* shards, releases every endpoint claim, and
+        settles the order BLOCKED — the cross-shard extension of the
+        single-controller saga guarantee.
+        """
+        completed: List[_OrderSegment] = []
+        failed: Optional[_OrderSegment] = None
+        for segment in order.segments:
+            controller = self._unit_controller[segment.spec.unit]
+            yield from controller.provisioner.setup_workflow(
+                segment.lightpath, include_fxc=segment.include_fxc
+            )
+            if segment.lightpath.state is not LightpathState.UP:
+                failed = segment
+                break
+            completed.append(segment)
+        if failed is None:
+            for child in order.children.values():
+                child.transition(ConnectionState.UP)
+                child.up_at = self.sim.now
+            order.state = ConnectionState.UP
+            order.up_at = self.sim.now
+            return
+        # Cross-shard unwind.
+        error = failed.lightpath.setup_error
+        for segment in reversed(completed):
+            controller = self._unit_controller[segment.spec.unit]
+            yield from controller.provisioner.teardown_workflow(
+                segment.lightpath, include_fxc=segment.include_fxc
+            )
+        failed_controller = self._unit_controller[failed.spec.unit]
+        if failed.lightpath.state is LightpathState.FAILED:
+            # Died to a fiber cut during setup rather than a saga
+            # rollback: the claim bookkeeping is still in place.
+            failed_controller.provisioner.release(failed.lightpath)
+        for unit, child in order.children.items():
+            controller = self._unit_controller[unit]
+            for lightpath_id in child.lightpath_ids:
+                controller._lightpath_conn.pop(lightpath_id, None)
+            child.lightpath_ids = []
+            controller._release_nte_claims(
+                child.nte_interfaces, child.connection_id
+            )
+            child.nte_interfaces = []
+            controller._release_steering(child)
+            child.setup_error = error
+            child.blocked_reason = f"setup failed: {error}"
+            child.transition(ConnectionState.BLOCKED)
+        self.admission.release(order.customer, order.rate_bps)
+        order.state = ConnectionState.BLOCKED
+        order.blocked_reason = f"setup failed: {error}"
+
+    def _teardown_workflow(self, order: ShardOrder):
+        for segment in reversed(order.segments):
+            controller = self._unit_controller[segment.spec.unit]
+            if segment.lightpath.state in (
+                LightpathState.UP, LightpathState.FAILED
+            ):
+                yield from controller.provisioner.teardown_workflow(
+                    segment.lightpath, include_fxc=segment.include_fxc
+                )
+            controller._lightpath_conn.pop(
+                segment.lightpath.lightpath_id, None
+            )
+        for unit, child in order.children.items():
+            controller = self._unit_controller[unit]
+            controller._release_nte_claims(
+                child.nte_interfaces, child.connection_id
+            )
+            child.nte_interfaces = []
+            controller._release_steering(child)
+            child.lightpath_ids = []
+            child.transition(ConnectionState.RELEASED)
+            child.released_at = self.sim.now
+        self.admission.release(order.customer, order.rate_bps)
+        order.state = ConnectionState.RELEASED
+        order.released_at = self.sim.now
+
+
+def build_sharded_network(
+    seed: int = 0,
+    regions: int = 4,
+    pops_per_region: int = 8,
+    gateways_per_region: int = 2,
+    mode: str = "sharded",
+    transponders_10g: int = 8,
+    regens_10g: int = 4,
+    grid_size: int = 80,
+    k_paths: int = 4,
+    fault_plans: Optional[Dict[str, FaultPlan]] = None,
+    hierarchy: Optional[Hierarchy] = None,
+) -> ShardedNetwork:
+    """Build a ready-to-order sharded (or monolithic-twin) network.
+
+    The hierarchy is built with premises attached (one per PoP) so
+    orders have NTE endpoints; pass ``hierarchy`` to reuse one already
+    built — e.g. to run both modes of the differential test on the
+    exact same topology object.
+    """
+    if hierarchy is None:
+        hierarchy = build_hierarchy(
+            seed,
+            regions=regions,
+            pops_per_region=pops_per_region,
+            gateways_per_region=gateways_per_region,
+            with_premises=True,
+        )
+    return ShardedNetwork(
+        hierarchy,
+        mode=mode,
+        seed=seed,
+        transponders_10g=transponders_10g,
+        regens_10g=regens_10g,
+        grid_size=grid_size,
+        k_paths=k_paths,
+        fault_plans=fault_plans,
+    )

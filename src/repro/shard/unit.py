@@ -1,0 +1,223 @@
+"""The shard planning unit: one graph + inventory + RWA + route cache.
+
+A :class:`ShardUnit` is the self-contained planning state of one
+controller shard — exactly the slice of :class:`GriphonController`
+state that RWA needs: the topology, the fiber plant with its wavelength
+occupancy, the equipment pools, the :class:`RwaEngine`, and its
+:class:`RouteCache`.  The controller itself now builds one of these and
+aliases ``controller.rwa`` to the unit's engine, so the monolithic and
+the sharded deployments plan through the same object.
+
+Built standalone (no tracer, no simulator), a unit is **picklable**:
+everything inside is plain data, which is what lets the shard benchmark
+map units onto the :mod:`repro.sweep` ProcessPool machinery — a worker
+either receives a unit or, cheaper, rebuilds it deterministically from
+``(seed, region params)`` via the builders below.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.inventory import InventoryDatabase
+from repro.core.rwa import BatchPlanItem, PlanRequest, RwaEngine, RwaPlan
+from repro.optical.impairments import ReachModel
+from repro.optical.wavelength import WavelengthGrid
+from repro.sim.randomness import RandomStreams
+from repro.topo.graph import NetworkGraph
+from repro.topo.hierarchy import (
+    EXPRESS,
+    build_express_graph,
+    build_region_graph,
+)
+from repro.units import GBPS
+
+
+class ShardUnit:
+    """One shard's planning state: graph, inventory, RWA, route cache.
+
+    Args:
+        name: The unit's label (a region name, ``"express"``, or — for
+            the monolithic controller — ``"controller"``).
+        inventory: The inventory the unit owns.  Every resource in it
+            belongs to this unit and no other; cross-unit stitching
+            happens at gateway PoPs, which appear in both a region unit
+            (metro side) and the express unit (long-haul side) but with
+            disjoint equipment.
+        reach / k_paths / assignment / streams / route_cache /
+        route_cache_size / tracer: Forwarded to :class:`RwaEngine`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inventory: InventoryDatabase,
+        reach: Optional[ReachModel] = None,
+        k_paths: int = 4,
+        assignment: str = "first-fit",
+        streams: Optional[RandomStreams] = None,
+        route_cache=None,
+        route_cache_size: int = 1024,
+        tracer=None,
+    ) -> None:
+        self.name = name
+        self.inventory = inventory
+        self.rwa = RwaEngine(
+            inventory,
+            reach=reach,
+            k_paths=k_paths,
+            assignment=assignment,
+            streams=streams,
+            route_cache=route_cache,
+            route_cache_size=route_cache_size,
+            tracer=tracer,
+        )
+
+    @property
+    def graph(self) -> NetworkGraph:
+        """The unit's topology."""
+        return self.inventory.graph
+
+    @property
+    def route_cache(self):
+        """The unit's route cache (``None`` when disabled)."""
+        return self.rwa.route_cache
+
+    def owns_node(self, node: str) -> bool:
+        """True when ``node`` is in this unit's graph."""
+        return self.inventory.graph.has_node(node)
+
+    def plan(self, source: str, destination: str, rate_bps: float) -> RwaPlan:
+        """Plan one request against this unit's inventory."""
+        return self.rwa.plan(source, destination, rate_bps)
+
+    def plan_batch(
+        self,
+        requests: Sequence[PlanRequest],
+        round_ctx=None,
+    ) -> List[BatchPlanItem]:
+        """Batch-plan against this unit (see :meth:`RwaEngine.plan_batch`)."""
+        return self.rwa.plan_batch(requests, round_ctx=round_ctx)
+
+    def occupy_plan(self, plan: RwaPlan, owner: str) -> None:
+        """Light a plan's channels on this unit's fiber plant.
+
+        The benchmark-weight commit: wavelength occupancy only, no
+        transponder/regen/port claims and no EMS workflows.  Subsequent
+        planning rounds see the occupied channels, which is all
+        plan-throughput measurements need.
+        """
+        plant = self.inventory.plant
+        for segment in plan.segments:
+            for u, v in segment.links:
+                plant.dwdm_link(u, v).occupy(segment.channel, owner)
+
+    def route_cache_stats(self) -> dict:
+        """The route cache's counters (zeros when caching is disabled)."""
+        if self.rwa.route_cache is None:
+            return {
+                "size": 0,
+                "capacity": 0,
+                "hits": 0,
+                "misses": 0,
+                "invalidations": 0,
+                "evictions": 0,
+                "hit_rate": 0.0,
+            }
+        return self.rwa.route_cache.stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardUnit({self.name!r}, nodes={len(self.graph.nodes)}, "
+            f"links={len(self.graph.links)})"
+        )
+
+
+# -- equipment + unit builders ------------------------------------------------
+
+
+def _install_planning_equipment(
+    inventory: InventoryDatabase,
+    transponders_10g: int,
+    regens_10g: int,
+) -> None:
+    """Install the wavelength-layer complement planning depends on."""
+    for node in inventory.graph.nodes:
+        if node.kind != "roadm":
+            continue
+        inventory.install_roadm(node.name, add_drop_ports=16)
+        inventory.install_transponders(
+            node.name, 10 * GBPS, transponders_10g
+        )
+        inventory.install_regens(node.name, 10 * GBPS, regens_10g)
+
+
+def build_region_unit(
+    seed: int,
+    region: str,
+    pops_per_region: int,
+    region_plane_km: float = 1200.0,
+    grid_size: int = 80,
+    transponders_10g: int = 6,
+    regens_10g: int = 4,
+    k_paths: int = 4,
+    route_cache_size: int = 1024,
+    alpha: float = 0.4,
+    beta: float = 0.35,
+) -> ShardUnit:
+    """Build one region's planning unit, standalone and picklable.
+
+    Deterministic in ``(seed, region, params)`` — a sweep worker calling
+    this reproduces exactly the region slice the parent derived from
+    :func:`repro.topo.hierarchy.build_hierarchy` with the same seed.
+    """
+    graph = build_region_graph(
+        seed,
+        region,
+        pops_per_region,
+        region_plane_km=region_plane_km,
+        alpha=alpha,
+        beta=beta,
+    )
+    inventory = InventoryDatabase(graph, WavelengthGrid(grid_size))
+    _install_planning_equipment(inventory, transponders_10g, regens_10g)
+    return ShardUnit(
+        region,
+        inventory,
+        k_paths=k_paths,
+        route_cache_size=route_cache_size,
+    )
+
+
+def build_express_unit(
+    regions: int,
+    gateways_per_region: int,
+    pops_per_region: int,
+    express_length_km: float = 600.0,
+    grid_size: int = 80,
+    transponders_10g: int = 6,
+    regens_10g: int = 4,
+    k_paths: int = 4,
+    route_cache_size: int = 1024,
+) -> ShardUnit:
+    """Build the express tier's planning unit, standalone and picklable.
+
+    The express unit's transponders/regens at a gateway are *separate
+    hardware* from the region unit's at the same PoP: each unit owns
+    its own inventory, so a gateway's metro-facing and express-facing
+    equipment can never be double-claimed across units.
+    """
+    graph = build_express_graph(
+        regions,
+        gateways_per_region,
+        pops_per_region,
+        express_length_km=express_length_km,
+    )
+    inventory = InventoryDatabase(graph, WavelengthGrid(grid_size))
+    _install_planning_equipment(inventory, transponders_10g, regens_10g)
+    return ShardUnit(
+        EXPRESS,
+        inventory,
+        k_paths=k_paths,
+        route_cache_size=route_cache_size,
+    )

@@ -84,6 +84,18 @@ def _build_topology(trial: TrialSpec) -> GriphonNetwork:
     raise ConfigurationError(f"unknown topology {topology!r}")
 
 
+def _trial_metrics(net: GriphonNetwork) -> Dict[str, Any]:
+    """The network's metrics snapshot with route-cache counters exported.
+
+    Cache hit/miss/eviction totals live as monotonic counters on the
+    engine's :class:`RouteCache`; exporting them into the registry right
+    before the snapshot makes them survive the counter-only
+    cross-process merge, so ``griphon sweep --json`` reports them.
+    """
+    net.controller.export_route_cache_counters()
+    return net.metrics.state()
+
+
 # -- study runners ----------------------------------------------------------
 
 
@@ -134,7 +146,7 @@ def availability_trial(trial: TrialSpec) -> TrialResult:
             "downtime_min_per_year": downtime_minutes_per_year(availability),
         },
         samples={"repair_s": repairs},
-        metrics=net.metrics.state(),
+        metrics=_trial_metrics(net),
     )
 
 
@@ -177,7 +189,7 @@ def scaling_trial(trial: TrialSpec) -> TrialResult:
             "served": len(setups),
         },
         samples={"setup_s": setups, "hops": [float(h) for h in hops]},
-        metrics=net.metrics.state(),
+        metrics=_trial_metrics(net),
     )
 
 
@@ -211,7 +223,7 @@ def scenario_trial(trial: TrialSpec) -> TrialResult:
             "min_availability": min(availabilities) if availabilities else 1.0,
         },
         samples={"availability": availabilities},
-        metrics=net.metrics.state(),
+        metrics=_trial_metrics(net),
     )
 
 
@@ -271,8 +283,20 @@ def pipeline_trial(trial: TrialSpec) -> TrialResult:
             "queue_drained": pipeline.queue_depth() == 0,
         },
         samples={"rounds_deferred": deferred_rounds},
-        metrics=net.metrics.state(),
+        metrics=_trial_metrics(net),
     )
+
+
+def shard_plan_trial(trial: TrialSpec) -> TrialResult:
+    """One shard planning its batched workload (see :mod:`repro.shard.bench`).
+
+    A module-level proxy so the registry entry pickles by reference:
+    ``repro.shard.bench`` imports this package's engine, so importing it
+    eagerly here would be a cycle.
+    """
+    from repro.shard.bench import shard_plan_trial as run_trial
+
+    return run_trial(trial)
 
 
 #: Study registry for JSON specs and the CLI.
@@ -281,6 +305,7 @@ STUDIES: Dict[str, Callable[[TrialSpec], TrialResult]] = {
     "scaling": scaling_trial,
     "scenario": scenario_trial,
     "pipeline": pipeline_trial,
+    "shard-plan": shard_plan_trial,
 }
 
 

@@ -6,10 +6,21 @@
   the scaling/planning experiments that the 4-node testbed is too small for.
 * :mod:`repro.topo.builders` — premises-attach and equipment-install
   helpers shared by the benchmarks and the sweep engine's factories.
+* :mod:`repro.topo.hierarchy` — the 3-tier continental builder
+  (per-region meshes, gateway PoPs, express links) behind
+  :mod:`repro.shard`.
 """
 
 from repro.topo.builders import attach_premises, install_pop_equipment
 from repro.topo.graph import Link, NetworkGraph, Node
+from repro.topo.hierarchy import (
+    EXPRESS,
+    Hierarchy,
+    RegionInfo,
+    build_express_graph,
+    build_hierarchy,
+    build_region_graph,
+)
 from repro.topo.testbed import (
     TESTBED_PREMISES,
     TESTBED_ROADMS,
@@ -28,4 +39,10 @@ __all__ = [
     "build_testbed_graph",
     "BACKBONE_CITIES",
     "build_backbone_graph",
+    "EXPRESS",
+    "Hierarchy",
+    "RegionInfo",
+    "build_express_graph",
+    "build_hierarchy",
+    "build_region_graph",
 ]

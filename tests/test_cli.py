@@ -129,3 +129,36 @@ class TestSweepCommand:
         assert main(["sweep", str(spec_path)]) == 0
         out = capsys.readouterr().out
         assert "sweep mini: 2 trial(s)" in out
+
+
+class TestShardCommand:
+    def test_shard_defaults(self):
+        args = build_parser().parse_args(["shard"])
+        assert args.regions == 4
+        assert args.pops == 8
+        assert args.mode == "sharded"
+
+    def test_shard_both_modes_match(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "shard.json"
+        assert main(
+            [
+                "--seed", "3", "shard", "--regions", "2", "--pops", "6",
+                "--orders", "3", "--mode", "both", "--json", str(out_json),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fingerprints match: True" in out
+        assert "route-cache" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["sharded"]["fingerprint"] == (
+            payload["monolithic"]["fingerprint"]
+        )
+        assert payload["sharded"]["audits_ok"]
+
+    def test_sweep_shard_study(self, capsys):
+        assert main(["sweep", "shard", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep shard-plan" in out
+        assert "route_cache_hits" in out

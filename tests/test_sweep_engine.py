@@ -175,6 +175,30 @@ class TestSeedSpawnProperties:
         seeds = [t.seed for t in spec.trials()]
         assert len(set(seeds)) == len(seeds)
 
+    @settings(max_examples=25, deadline=None)
+    @given(base_seed=st.integers(min_value=0, max_value=2**32))
+    def test_shard_spawned_substreams_never_collide(self, base_seed):
+        """16 shards x 64 trial substreams: every master seed distinct.
+
+        The sharded network derives each shard's stream family with
+        ``spawn("shard:<region>")`` and the shard benchmark derives each
+        trial's with a further spawn; a collision anywhere would let two
+        shards (or two trials) replay each other's randomness.
+        """
+        from repro.sim.randomness import RandomStreams
+        from repro.topo.hierarchy import region_name
+
+        root = RandomStreams(base_seed)
+        masters = [base_seed]
+        for index in range(16):
+            shard = root.spawn(f"shard:{region_name(index)}")
+            masters.append(shard.master_seed)
+            masters.extend(
+                shard.spawn(f"trial:{trial}").master_seed
+                for trial in range(64)
+            )
+        assert len(set(masters)) == len(masters)
+
 
 # -- trial execution ---------------------------------------------------------
 

@@ -1,0 +1,252 @@
+"""Service-frontend load report: emits ``BENCH_frontend.json``.
+
+Two experiment families over the async frontend
+(:class:`~repro.frontend.BodFrontend` on the Fig. 4 testbed):
+
+* **customer scale** — open-loop Zipf fleets of 10k / 100k / 1M
+  simulated customers submitting through the edge, measuring sustained
+  orders/sec (wall-clock processing rate) and the p99 frontend-submit →
+  ACTIVE latency;
+* **overload curve** — the same fleet at 1x..100x of a baseline
+  arrival rate, measuring the shed/throttle split and proving the
+  headline acceptance claim: under 10x overload the edge sheds with
+  typed rejections while the *admitted*-order p99 stays within 2x of
+  the unloaded run and the queue-depth gauge never exceeds its bound.
+
+Active connections are torn down as soon as they come up, so the
+backend cycles capacity and order-to-ACTIVE latency stays meaningful at
+every load point.
+
+Determinism: everything except the ``wall_clock`` section is a pure
+function of the seed; the report carries a sha256 fingerprint over that
+deterministic part, so two runs (or two machines) can be compared
+byte-for-byte.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/frontend_report.py [output.json]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import api
+from repro.facade import build_griphon_testbed
+from repro.frontend.clients import ClientFleet
+from repro.workload.tenants import TenantPopulation
+
+#: Customer-population tiers (the headline scale axis).
+CUSTOMER_TIERS = (10_000, 100_000, 1_000_000)
+
+#: Overload multipliers over ``BASE_RATE`` for the shed-rate curve.
+OVERLOAD_FACTORS = (1, 2, 5, 10, 20, 50, 100)
+
+#: Baseline (1x) open-loop arrival rate, submissions per sim-second.
+BASE_RATE = 10.0
+
+#: Sim-seconds of arrivals per measured run.
+DURATION_S = 30.0
+
+#: Default output path: the repository root.
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_frontend.json"
+
+
+def _p99(samples: List[float]) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return float("nan")
+    return ordered[max(0, int(len(ordered) * 0.99) - 1)]
+
+
+def run_load(
+    seed: int,
+    customers: int,
+    arrival_rate: float,
+    duration_s: float = DURATION_S,
+    burst_interval: float = None,
+) -> Dict[str, object]:
+    """One frontend load run; returns deterministic measurements.
+
+    ``burst_interval`` turns the fleet into a thundering herd (all of a
+    window's arrivals land on one instant) — the arrival shape that
+    pressures the bounded queue.  The ``wall_s`` key (wall-clock
+    seconds of the sim run) is the only nondeterministic value and is
+    split out by the caller.
+    """
+    net = build_griphon_testbed(seed=seed, latency_cv=0.0)
+    # A tight shed band (48/16 over a 64-deep queue) so the overload
+    # curve shows the hysteresis machine engaging, not just the bucket.
+    frontend = net.enable_frontend(
+        queue_capacity=64, shed_high=48, shed_low=16,
+        round_interval=0.01, bucket_rate=1.0, bucket_burst=8.0,
+    )
+    population = TenantPopulation(customers)
+    max_depth = {"value": 0}
+
+    def watch(ticket, event):
+        if event == "admitted":
+            max_depth["value"] = max(max_depth["value"], frontend.queue_depth())
+        elif event == "active" and ticket.order_ticket is not None:
+            # Cycle capacity: release the connection right after it is
+            # up — scheduled, so the Active outcome resolves first.
+            net.sim.schedule(
+                0.0, frontend._intake.teardown, ticket.order_ticket
+            )
+
+    frontend.add_listener(watch)
+    fleet = ClientFleet(
+        frontend,
+        population,
+        net.controller.admission,
+        premises=["PREMISES-A", "PREMISES-B", "PREMISES-C"],
+        streams=net.streams.spawn("fleet"),
+        arrival_rate=arrival_rate,
+        duration=duration_s,
+        burst_interval=burst_interval,
+    )
+    scheduled = fleet.start()
+    start = time.perf_counter()
+    events = net.run()
+    wall_s = time.perf_counter() - start
+    counters = net.metrics.counters()
+    submitted = counters.get("frontend.submitted", 0.0)
+    shed = counters.get("frontend.shed", 0.0)
+    throttled = counters.get("frontend.throttled", 0.0)
+    admitted = counters.get("frontend.admitted", 0.0)
+    rejected_typed = all(
+        isinstance(t.outcome, api.TERMINAL_OUTCOMES)
+        for t in fleet.tickets
+        if t.rejected
+    )
+    return {
+        "customers": customers,
+        "arrival_rate": arrival_rate,
+        "duration_s": duration_s,
+        "scheduled": scheduled,
+        "submitted": submitted,
+        "admitted": admitted,
+        "shed": shed,
+        "throttled": throttled,
+        "active": counters.get("frontend.active", 0.0),
+        "shed_rate": shed / submitted if submitted else 0.0,
+        "throttle_rate": throttled / submitted if submitted else 0.0,
+        "conserved": submitted == admitted + shed + throttled,
+        "rejections_typed": rejected_typed,
+        "registered_tenants": population.registered_count,
+        "p99_order_to_active_s": _p99(fleet.stats.order_to_active),
+        "max_queue_depth": max_depth["value"],
+        "queue_capacity": frontend.capacity,
+        "events": events,
+        "wall_s": wall_s,
+    }
+
+
+def collect_measurements(seed: int = 2026) -> Dict[str, object]:
+    """The full report: customer-scale tiers plus the overload curve."""
+    tiers = []
+    wall_clock = {"tiers": [], "overload": []}
+    for customers in CUSTOMER_TIERS:
+        run = run_load(seed, customers, arrival_rate=100.0)
+        wall_s = run.pop("wall_s")
+        tiers.append(run)
+        wall_clock["tiers"].append(
+            {
+                "customers": customers,
+                "wall_s": wall_s,
+                "orders_per_sec_sustained": run["submitted"] / wall_s,
+            }
+        )
+    overload = []
+    for factor in OVERLOAD_FACTORS:
+        run = run_load(seed, customers=10_000,
+                       arrival_rate=BASE_RATE * factor,
+                       burst_interval=1.0)
+        wall_s = run.pop("wall_s")
+        run["overload_factor"] = factor
+        overload.append(run)
+        wall_clock["overload"].append(
+            {"overload_factor": factor, "wall_s": wall_s}
+        )
+    unloaded = overload[0]
+    at_10x = next(r for r in overload if r["overload_factor"] == 10)
+    acceptance = {
+        "all_runs_conserved": all(
+            r["conserved"] for r in tiers + overload
+        ),
+        "all_rejections_typed": all(
+            r["rejections_typed"] for r in tiers + overload
+        ),
+        "sheds_under_10x": at_10x["shed"] + at_10x["throttled"] > 0,
+        "p99_within_2x_unloaded": (
+            at_10x["p99_order_to_active_s"]
+            <= 2.0 * unloaded["p99_order_to_active_s"]
+        ),
+        "queue_depth_bounded": all(
+            r["max_queue_depth"] <= r["queue_capacity"]
+            for r in tiers + overload
+        ),
+    }
+    return {
+        "seed": seed,
+        "topology": "testbed",
+        "base_rate": BASE_RATE,
+        "tiers": tiers,
+        "overload_curve": overload,
+        "acceptance": acceptance,
+        "wall_clock": wall_clock,
+    }
+
+
+def fingerprint(results: Dict[str, object]) -> str:
+    """sha256 over the deterministic part (wall clock excluded)."""
+    deterministic = {
+        key: value for key, value in results.items() if key != "wall_clock"
+    }
+    payload = json.dumps(deterministic, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def write_report(path: Path, results: Dict[str, object]) -> None:
+    """Serialize the measurements (plus the fingerprint) as JSON."""
+    report = {
+        "benchmark": "frontend-load",
+        "schema_version": 1,
+        "fingerprint": fingerprint(results),
+        **results,
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def main(argv: List[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    results = collect_measurements()
+    write_report(output, results)
+    for tier, wall in zip(results["tiers"], results["wall_clock"]["tiers"]):
+        print(
+            f"{tier['customers']:>9} customers: "
+            f"{wall['orders_per_sec_sustained']:8.0f} orders/s sustained, "
+            f"p99 order-to-ACTIVE {tier['p99_order_to_active_s']:6.2f}s, "
+            f"{tier['registered_tenants']} tenants touched"
+        )
+    for run in results["overload_curve"]:
+        print(
+            f"  {run['overload_factor']:>3}x load: "
+            f"shed {run['shed_rate']:6.1%}  "
+            f"throttled {run['throttle_rate']:6.1%}  "
+            f"p99 {run['p99_order_to_active_s']:6.2f}s  "
+            f"max depth {run['max_queue_depth']}"
+        )
+    accepted = all(results["acceptance"].values())
+    print(f"acceptance: {results['acceptance']} -> {accepted}")
+    print(f"wrote {output}")
+    return 0 if accepted else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

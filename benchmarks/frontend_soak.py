@@ -1,0 +1,181 @@
+"""Frontend soak: bounded sim-hours of mixed workload under chaos.
+
+The CI soak job's driver: an open-loop Zipf tenant fleet submits
+through the async frontend for a bounded stretch of simulated hours
+while :mod:`repro.faults` injects EMS faults (transients, timeouts)
+into every setup underneath it.  Connections are cycled — torn down as
+soon as they come up — so the run continuously exercises submit → edge
+gates → pump → setup → teardown, including the saga rollbacks the
+faults provoke.
+
+The oracle is threefold, and the exit code reflects it:
+
+* **conservation** — ``submitted == admitted + shed + throttled`` and
+  every admitted order resolved to a typed outcome;
+* **queue bounds** — the frontend queue never exceeded its capacity;
+* **invariant audit** — after tearing every surviving connection down,
+  :func:`repro.faults.audit_network` must find zero leaked or
+  double-allocated resources.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/frontend_soak.py [report.json]
+        [--sim-hours H] [--rate R] [--fault-rate P]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.core.connection import ConnectionState
+from repro.facade import build_griphon_testbed
+from repro.faults import FaultPlan, FaultSpec, audit_network
+from repro.frontend.clients import ClientFleet
+from repro.units import HOUR
+from repro.workload.tenants import TenantPopulation
+
+#: Default bounded soak horizon, in simulated hours.
+SIM_HOURS = 2.0
+
+#: Connection states that hold resources and need a final teardown.
+_TEARDOWN_STATES = frozenset(
+    {
+        ConnectionState.UP,
+        ConnectionState.DEGRADED,
+        ConnectionState.FAILED,
+        ConnectionState.RESTORING,
+    }
+)
+
+
+def run_soak(
+    seed: int = 77,
+    sim_hours: float = SIM_HOURS,
+    arrival_rate: float = 0.5,
+    fault_rate: float = 0.2,
+    tenants: int = 5_000,
+) -> dict:
+    """One chaos soak; returns the report dict (see module docstring)."""
+    plan = FaultPlan()
+    for mode in ("transient", "timeout"):
+        plan.add(FaultSpec(mode=mode, probability=fault_rate))
+    net = build_griphon_testbed(seed=seed, latency_cv=0.0, fault_plan=plan)
+    frontend = net.enable_frontend(
+        queue_capacity=64, round_interval=0.01, bucket_rate=1.0,
+        bucket_burst=8.0,
+    )
+    population = TenantPopulation(tenants)
+    max_depth = {"value": 0}
+
+    def cycle(ticket, event):
+        if event == "admitted":
+            max_depth["value"] = max(
+                max_depth["value"], frontend.queue_depth()
+            )
+        elif event == "active" and ticket.order_ticket is not None:
+            net.sim.schedule(
+                0.0, frontend._intake.teardown, ticket.order_ticket
+            )
+
+    frontend.add_listener(cycle)
+    fleet = ClientFleet(
+        frontend,
+        population,
+        net.controller.admission,
+        premises=["PREMISES-A", "PREMISES-B", "PREMISES-C"],
+        streams=net.streams.spawn("fleet"),
+        arrival_rate=arrival_rate,
+        duration=sim_hours * HOUR,
+    )
+    fleet.start()
+    net.run()
+
+    # Final sweep: release every connection still holding resources.
+    final_teardowns = 0
+    for ticket in fleet.tickets:
+        order = ticket.order_ticket
+        if order is None or order.connection_id is None:
+            continue
+        connection = net.controller.connection(order.connection_id)
+        if connection.state in _TEARDOWN_STATES:
+            net.controller.teardown_connection(order.connection_id)
+            final_teardowns += 1
+    net.run()
+
+    counters = net.metrics.counters()
+    submitted = counters.get("frontend.submitted", 0.0)
+    conserved = submitted == (
+        counters.get("frontend.admitted", 0.0)
+        + counters.get("frontend.shed", 0.0)
+        + counters.get("frontend.throttled", 0.0)
+    )
+    audit = audit_network(net.controller)
+    outcome_counts = dict(sorted(fleet.stats.outcomes.items()))
+    return {
+        "seed": seed,
+        "sim_hours": sim_hours,
+        "fault_rate": fault_rate,
+        "submitted": fleet.stats.submitted,
+        "resolved": fleet.stats.resolved(),
+        "outcomes": outcome_counts,
+        "setup_failures": outcome_counts.get("SetupFailed", 0)
+        + outcome_counts.get("ServiceDegraded", 0),
+        "faults_injected": sum(plan.injected_counts),
+        "final_teardowns": final_teardowns,
+        "max_queue_depth": max_depth["value"],
+        "queue_capacity": frontend.capacity,
+        "conserved": conserved,
+        "all_resolved": fleet.stats.resolved() == fleet.stats.submitted,
+        "audit_ok": audit.ok,
+        "audit_summary": audit.summary(),
+        "violations": [str(v) for v in audit.violations],
+    }
+
+
+def _healthy(report: dict) -> bool:
+    """The soak's pass/fail verdict."""
+    return bool(
+        report["conserved"]
+        and report["all_resolved"]
+        and report["audit_ok"]
+        and report["max_queue_depth"] <= report["queue_capacity"]
+    )
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default="SOAK_frontend.json")
+    parser.add_argument("--sim-hours", type=float, default=SIM_HOURS)
+    parser.add_argument("--rate", type=float, default=0.5)
+    parser.add_argument("--fault-rate", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=77)
+    args = parser.parse_args(argv[1:])
+    report = run_soak(
+        seed=args.seed,
+        sim_hours=args.sim_hours,
+        arrival_rate=args.rate,
+        fault_rate=args.fault_rate,
+    )
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"soak: {report['submitted']} orders over {report['sim_hours']}h "
+        f"sim, faults {report['faults_injected']}, "
+        f"outcomes {report['outcomes']}"
+    )
+    print(
+        f"  conserved={report['conserved']}  "
+        f"all_resolved={report['all_resolved']}  "
+        f"audit: {report['audit_summary']}"
+    )
+    for violation in report["violations"]:
+        print(f"    {violation}")
+    print(f"wrote {args.output}")
+    return 0 if _healthy(report) else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,71 @@
+"""Perf benchmark for the async service frontend under overload.
+
+One unloaded run and one 10x thundering-herd run of the frontend load
+harness (``benchmarks/frontend_report.py``'s methodology at reduced
+duration).  The acceptance bars are the issue's headline claims: the
+edge refuses with typed rejections under overload, the conservation law
+holds, the queue-depth gauge stays bounded, and the admitted-order p99
+order-to-ACTIVE at 10x stays within 2x of the unloaded run.
+"""
+
+from benchmarks.frontend_report import BASE_RATE, run_load
+from benchmarks.harness import print_rows
+
+
+def test_perf_frontend_overload(benchmark):
+    def measure():
+        unloaded = run_load(
+            seed=2026, customers=10_000, arrival_rate=BASE_RATE,
+            duration_s=20.0, burst_interval=1.0,
+        )
+        overloaded = run_load(
+            seed=2026, customers=10_000, arrival_rate=BASE_RATE * 10,
+            duration_s=20.0, burst_interval=1.0,
+        )
+        return unloaded, overloaded
+
+    unloaded, overloaded = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    print_rows(
+        "Frontend: unloaded vs 10x overload (10k tenants, testbed)",
+        [
+            ["load", "submitted", "admitted", "shed", "throttled", "p99 s"],
+            [
+                "1x",
+                f"{unloaded['submitted']:.0f}",
+                f"{unloaded['admitted']:.0f}",
+                f"{unloaded['shed']:.0f}",
+                f"{unloaded['throttled']:.0f}",
+                f"{unloaded['p99_order_to_active_s']:.2f}",
+            ],
+            [
+                "10x",
+                f"{overloaded['submitted']:.0f}",
+                f"{overloaded['admitted']:.0f}",
+                f"{overloaded['shed']:.0f}",
+                f"{overloaded['throttled']:.0f}",
+                f"{overloaded['p99_order_to_active_s']:.2f}",
+            ],
+        ],
+    )
+    benchmark.extra_info.update(
+        {
+            "shed_rate_10x": overloaded["shed_rate"],
+            "p99_unloaded_s": unloaded["p99_order_to_active_s"],
+            "p99_10x_s": overloaded["p99_order_to_active_s"],
+        }
+    )
+
+    for run in (unloaded, overloaded):
+        assert run["conserved"], run
+        assert run["rejections_typed"], run
+        assert run["max_queue_depth"] <= run["queue_capacity"], run
+    # Under 10x the edge must refuse load (shed and/or throttled)...
+    assert overloaded["shed"] + overloaded["throttled"] > 0
+    # ...while the admitted orders' p99 stays within 2x of unloaded.
+    assert (
+        overloaded["p99_order_to_active_s"]
+        <= 2.0 * unloaded["p99_order_to_active_s"]
+    )

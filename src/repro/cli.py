@@ -8,6 +8,7 @@ Usage::
     python -m repro restore
     python -m repro operator
     python -m repro sweep x9 --jobs 8 --json sweep.json
+    python -m repro serve --tenants 100000 --rate 50
 
 (Installed as the ``griphon`` console script.)  Each subcommand builds a
 fresh simulated network, runs one scenario, and prints a short report —
@@ -190,6 +191,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.shard.bench import shard_plan_spec
     from repro.sweep import (
         SweepSpec,
+        frontend_load_spec,
         pipeline_load_spec,
         run_sweep,
         x10_scaling_spec,
@@ -202,6 +204,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec = x10_scaling_spec(repeats=args.repeats)
     elif args.study == "pipeline":
         spec = pipeline_load_spec(repeats=args.repeats)
+    elif args.study == "frontend":
+        spec = frontend_load_spec(repeats=args.repeats)
     elif args.study == "shard":
         spec = shard_plan_spec(topology_seed=args.seed)
     else:
@@ -376,6 +380,76 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve an open-loop tenant fleet through the async frontend."""
+    from repro.facade import build_griphon_backbone
+    from repro.frontend.clients import ClientFleet
+    from repro.workload.tenants import TenantPopulation
+
+    if args.topology == "testbed":
+        net = build_griphon_testbed(seed=args.seed)
+    else:
+        net = build_griphon_backbone(seed=args.seed)
+    frontend = net.enable_frontend(
+        queue_capacity=args.queue_capacity,
+        bucket_rate=args.bucket_rate,
+        round_interval=0.01,
+    )
+    population = TenantPopulation(args.tenants)
+    fleet = ClientFleet(
+        frontend,
+        population,
+        net.controller.admission,
+        premises=sorted(net.inventory.ntes),
+        streams=net.streams.spawn("fleet"),
+        arrival_rate=args.rate,
+        duration=args.duration,
+    )
+    scheduled = fleet.start()
+    net.run()
+    counters = net.metrics.counters()
+    submitted = counters.get("frontend.submitted", 0.0)
+    admitted = counters.get("frontend.admitted", 0.0)
+    shed = counters.get("frontend.shed", 0.0)
+    throttled = counters.get("frontend.throttled", 0.0)
+    print(
+        f"serve: {scheduled} arrival(s) from {args.tenants} tenant(s) "
+        f"over {args.duration:.0f}s on {args.topology} "
+        f"(rate {args.rate}/s, queue {args.queue_capacity})"
+    )
+    print(
+        f"  submitted={submitted:.0f}  admitted={admitted:.0f}  "
+        f"shed={shed:.0f}  throttled={throttled:.0f}  "
+        f"active={counters.get('frontend.active', 0.0):.0f}"
+    )
+    latencies = sorted(fleet.stats.order_to_active)
+    if latencies:
+        p99 = latencies[max(0, int(len(latencies) * 0.99) - 1)]
+        print(
+            f"  order-to-ACTIVE: p50 {format_duration(statistics.median(latencies))}"
+            f"  p99 {format_duration(p99)}  ({len(latencies)} activation(s))"
+        )
+    print(f"  edge state: {frontend.state}  queue depth: {frontend.queue_depth()}")
+    conserved = submitted == admitted + shed + throttled
+    print(f"  conservation (submitted == admitted + shed + throttled): {conserved}")
+    if args.json:
+        payload = {
+            "scheduled": scheduled,
+            "tenants": args.tenants,
+            "registered_tenants": population.registered_count,
+            "counters": {
+                name: counters[name]
+                for name in sorted(counters)
+                if name.startswith("frontend.")
+            },
+            "order_to_active_s": latencies,
+            "conserved": conserved,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote serve report to {args.json}")
+    return 0 if conserved else 2
+
+
 def cmd_shard(args: argparse.Namespace) -> int:
     """Place cross-region orders on the sharded continental network."""
     from repro.core.admission import CustomerProfile
@@ -497,8 +571,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "study",
-        help="built-in study (x9, x10, pipeline, shard) or path to a JSON "
-        "sweep spec",
+        help="built-in study (x9, x10, pipeline, frontend, shard) or path "
+        "to a JSON sweep spec",
     )
     sweep.add_argument(
         "--jobs", type=int, default=1,
@@ -595,6 +669,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="write the shard report to this file"
     )
     shard.set_defaults(func=cmd_shard)
+    serve = sub.add_parser(
+        "serve",
+        help="serve an open-loop tenant fleet through the async frontend",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=1000,
+        help="Zipf tenant population size (default 1000)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=20.0,
+        help="mean arrivals per sim-second (default 20)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=30.0,
+        help="sim-seconds of arrivals (default 30)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="frontend submission-queue bound (default 256)",
+    )
+    serve.add_argument(
+        "--bucket-rate", type=float, default=1.0,
+        help="per-tenant token-bucket refill per second (default 1)",
+    )
+    serve.add_argument(
+        "--topology", choices=("testbed", "backbone"), default="testbed",
+        help="network to build (default testbed)",
+    )
+    serve.add_argument(
+        "--json", default=None, help="write the serve report to this file"
+    )
+    serve.set_defaults(func=cmd_serve)
     sub.add_parser(
         "operator", help="print the carrier operator network view"
     ).set_defaults(func=cmd_operator)

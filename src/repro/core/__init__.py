@@ -41,12 +41,10 @@ from repro.core.reclamation import OtnLineReclaimer
 from repro.core.regrooming import RegroomingEngine
 from repro.core.routecache import RouteCache
 from repro.core.rwa import RwaEngine, RwaPlan
-from repro.core.service import (
-    BodService,
-    FaultReport,
-    ServiceDegraded,
-    SetupFailed,
-)
+# ServiceDegraded/SetupFailed moved to repro.api; re-exported here (and
+# shimmed in repro.core.service) so historical imports keep working.
+from repro.api import ServiceDegraded, SetupFailed
+from repro.core.service import BodService, FaultReport
 
 __all__ = [
     "AdmissionControl",

@@ -985,11 +985,14 @@ class GriphonController:
         )
         bridge_s = self.sim.now - bridge_started
         # The customer may have torn the connection down (or a failure
-        # may have taken it) while the bridge was being built; in that
-        # case the roll is pointless — release the bridge and stop.
+        # may have taken it, or another bridge-and-roll already moved
+        # the connection off the old path) while the bridge was being
+        # built; in that case the roll is pointless — release the
+        # bridge and stop.
         if (
             connection.state is not ConnectionState.UP
             or old.lightpath_id not in self.inventory.lightpaths
+            or old.lightpath_id not in connection.lightpath_ids
             or bridge.state is not LightpathState.UP
         ):
             if bridge.state is LightpathState.UP:
@@ -1011,6 +1014,26 @@ class GriphonController:
             connection.begin_outage(self.sim.now)
             yield ROLL_HIT_S
             connection.end_outage(self.sim.now)
+        if (
+            connection.state is not ConnectionState.UP
+            or old.lightpath_id not in connection.lightpath_ids
+        ):
+            # A teardown (or failure, or a competing roll) landed
+            # during the roll hit.  The old path now belongs to
+            # whoever settled it — only the bridge is left to release.
+            if bridge.state is LightpathState.UP:
+                yield from self.provisioner.teardown_workflow(
+                    bridge, include_fxc=False, parent_span=span
+                )
+            elif bridge.lightpath_id in self.inventory.lightpaths:
+                self.provisioner.release(bridge)
+            span.set_tag("outcome", "aborted").finish()
+            self.metrics.inc("bridge_and_roll.aborted")
+            self._notify(
+                "bridge-and-roll-aborted",
+                {"connection_id": connection.connection_id},
+            )
+            return
         connection.lightpath_ids = [bridge.lightpath_id]
         self._lightpath_conn.pop(old.lightpath_id, None)
         self._lightpath_conn[bridge.lightpath_id] = connection.connection_id

@@ -10,20 +10,44 @@ The fault and usage views return typed records (:class:`FaultReport`,
 :class:`Usage`) rather than bare strings and dicts; both stay
 compatible with their old shapes (``str(report)`` is the GUI line,
 ``usage["connections"]`` still indexes).
+
+Order outcomes (``QueueFull``, ``Deferred``, ``SetupFailed``,
+``ServiceDegraded``) now live in :mod:`repro.api` as part of the one
+typed :data:`~repro.api.OrderOutcome` union; importing them from this
+module still works but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+from repro import api
 from repro.core.connection import Connection, ConnectionKind, ConnectionState
 from repro.core.controller import GriphonController
 from repro.errors import AdmissionError, ConfigurationError, ResourceError
 from repro.pipeline import OrderTicket, TicketState
 from repro.units import GBPS
+
+#: Names that moved to :mod:`repro.api`; kept importable here (with a
+#: deprecation warning) so historical callers don't break.
+_MOVED_TO_API = ("QueueFull", "Deferred", "SetupFailed", "ServiceDegraded")
+
+
+def __getattr__(name: str):
+    """Deprecation shim for the outcome types that moved to repro.api."""
+    if name in _MOVED_TO_API:
+        warnings.warn(
+            f"repro.core.service.{name} moved to repro.api.{name}; "
+            "update the import (the repro.core.service path will go away)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -76,107 +100,6 @@ class FaultReport:
         # Callers historically substring-matched the one-line report;
         # keep ``"outage" in report`` working on the typed record.
         return item in str(self)
-
-
-@dataclass(frozen=True)
-class SetupFailed:
-    """Typed outcome for an order that failed entirely during setup.
-
-    Every claimed resource was released by the compensating saga; the
-    connection record is BLOCKED with ``blocked_reason`` set.
-
-    Attributes:
-        connection_id: The failed order.
-        error: The equipment error that exhausted its retries.
-        fault: The connection's :class:`FaultReport` at reporting time.
-        trace_id: For correlating with the tracer's spans.
-    """
-
-    connection_id: str
-    error: Exception
-    fault: FaultReport
-    trace_id: Optional[str] = None
-
-    def __str__(self) -> str:
-        return f"{self.connection_id}: setup failed - {self.error}"
-
-
-@dataclass(frozen=True)
-class ServiceDegraded:
-    """Typed outcome for an order that came up with fewer components.
-
-    Some wavelength/circuit components aborted during setup and were
-    rolled back; the survivors carry (reduced) traffic.
-
-    Attributes:
-        connection_id: The degraded connection.
-        error: The equipment error behind the first aborted component.
-        fault: The connection's :class:`FaultReport` at reporting time.
-        trace_id: For correlating with the tracer's spans.
-        up_components: How many components (lightpaths + circuits +
-            EVCs) made it into service.
-    """
-
-    connection_id: str
-    error: Exception
-    fault: FaultReport
-    trace_id: Optional[str] = None
-    up_components: int = 0
-
-    def __str__(self) -> str:
-        return (
-            f"{self.connection_id}: degraded "
-            f"({self.up_components} component(s) up) - {self.error}"
-        )
-
-
-@dataclass(frozen=True)
-class QueueFull:
-    """Typed outcome for an order refused by intake backpressure.
-
-    The pipeline's bounded queue was full at submission: nothing was
-    recorded against the customer's quota and no connection record
-    exists.  Resubmit after the backlog drains.
-
-    Attributes:
-        order_id: The refused submission's ticket id.
-        capacity: The queue bound that was hit.
-        reason: The one-line refusal message.
-    """
-
-    order_id: str
-    capacity: int
-    reason: str
-
-    def __str__(self) -> str:
-        return f"{self.order_id}: queue full - {self.reason}"
-
-
-@dataclass(frozen=True)
-class Deferred:
-    """Typed outcome for an order that kept losing wavelength contention.
-
-    Every round the pipeline processed the order, earlier orders in the
-    same round won the wavelengths it needed; after the retry budget the
-    order was withdrawn.  Quota was returned and no connection record
-    remains — the network may well have capacity for a resubmission
-    once the contending orders are in service or torn down.
-
-    Attributes:
-        order_id: The withdrawn submission's ticket id.
-        rounds_deferred: How many rounds the order was retried.
-        reason: The last contention failure, one line.
-    """
-
-    order_id: str
-    rounds_deferred: int
-    reason: str
-
-    def __str__(self) -> str:
-        return (
-            f"{self.order_id}: deferred after {self.rounds_deferred} "
-            f"round(s) - {self.reason}"
-        )
 
 
 @dataclass(frozen=True)
@@ -288,32 +211,42 @@ class BodService:
 
     def order_outcome(
         self, ticket: OrderTicket
-    ) -> Optional["Connection | QueueFull | Deferred"]:
-        """What became of a submitted order.
+    ) -> Optional["api.OrderStatus"]:
+        """What became of a submitted order, as a value from the union.
 
-        Returns ``None`` while the order is still queued, the
-        :class:`Connection` record once it was processed (ACCEPTED
-        orders are setting up or up; BLOCKED records carry
-        ``blocked_reason``), :class:`QueueFull` for intake backpressure,
-        and :class:`Deferred` when the order was withdrawn after losing
-        wavelength contention ``max_defers`` rounds in a row.
+        Returns ``None`` while the order is still queued, otherwise a
+        member of :data:`repro.api.OrderStatus`: :class:`~repro.api.Active`
+        / :class:`~repro.api.Blocked` / :class:`~repro.api.Accepted`
+        wrapping the processed :class:`Connection` record (attribute
+        access like ``.state`` and ``.blocked_reason`` delegates to the
+        record), :class:`~repro.api.SetupFailed` /
+        :class:`~repro.api.ServiceDegraded` when the setup saga rolled
+        back, :class:`~repro.api.QueueFull` for intake backpressure, and
+        :class:`~repro.api.Deferred` when the order was withdrawn after
+        losing wavelength contention ``max_defers`` rounds in a row.
         """
         if ticket.state is TicketState.QUEUED:
             return None
         if ticket.state is TicketState.QUEUE_FULL:
             pipeline = self._controller.pipeline
-            return QueueFull(
+            return api.QueueFull(
                 order_id=ticket.order_id,
                 capacity=pipeline.capacity if pipeline is not None else 0,
                 reason=ticket.reason,
             )
         if ticket.state is TicketState.DEFERRED:
-            return Deferred(
+            return api.Deferred(
                 order_id=ticket.order_id,
                 rounds_deferred=ticket.rounds_deferred,
                 reason=ticket.reason,
             )
-        return self._own(ticket.connection_id)
+        connection = self._own(ticket.connection_id)
+        fault = (
+            self.fault_report(connection.connection_id)
+            if connection.setup_error is not None
+            else None
+        )
+        return api.classify_record(connection, fault=fault)
 
     def _validate_rate(self, rate_gbps: float) -> None:
         """GUI-unit rate validation shared by request and submit."""
@@ -395,13 +328,14 @@ class BodService:
 
     def setup_outcome(
         self, connection_id: str
-    ) -> Optional["SetupFailed | ServiceDegraded"]:
+    ) -> Optional["api.SetupFailed | api.ServiceDegraded"]:
         """What the resilient setup saga did to this order, if anything.
 
         Returns ``None`` for orders that set up cleanly (or are still in
-        flight), :class:`ServiceDegraded` when some components aborted
-        but the connection carries traffic, and :class:`SetupFailed`
-        when the whole order was rolled back.
+        flight), :class:`~repro.api.ServiceDegraded` when some
+        components aborted but the connection carries traffic, and
+        :class:`~repro.api.SetupFailed` when the whole order was rolled
+        back.
         """
         connection = self._own(connection_id)
         if connection.setup_error is None:
@@ -413,14 +347,14 @@ class BodService:
                 + len(connection.circuit_ids)
                 + len(connection.evc_ids)
             )
-            return ServiceDegraded(
+            return api.ServiceDegraded(
                 connection_id=connection.connection_id,
                 error=connection.setup_error,
                 fault=fault,
                 trace_id=connection.trace_id,
                 up_components=up_components,
             )
-        return SetupFailed(
+        return api.SetupFailed(
             connection_id=connection.connection_id,
             error=connection.setup_error,
             fault=fault,

@@ -71,6 +71,7 @@ class GriphonNetwork:
         self.controller: Optional[GriphonController] = None
         self.maintenance: Optional[MaintenanceScheduler] = None
         self.pipeline: Optional[OrderPipeline] = None
+        self.frontend = None
         self._services: Dict[str, BodService] = {}
 
     def finish_build(self) -> "GriphonNetwork":
@@ -118,6 +119,55 @@ class GriphonNetwork:
         )
         self.controller.pipeline = self.pipeline
         return self.pipeline
+
+    def enable_frontend(
+        self,
+        queue_capacity: int = 512,
+        shed_high: Optional[int] = None,
+        shed_low: Optional[int] = None,
+        bucket_rate: float = 1.0,
+        bucket_burst: float = 8.0,
+        pump_interval: float = 0.05,
+        **pipeline_kwargs,
+    ):
+        """Attach the async service frontend over the order pipeline.
+
+        Enables the pipeline first when it is not already attached
+        (``pipeline_kwargs`` are forwarded to :meth:`enable_pipeline`
+        in that case).  Returns the :class:`~repro.frontend.BodFrontend`,
+        also available as ``net.frontend``.  See
+        :class:`~repro.frontend.BodFrontend` for the edge parameters.
+
+        Raises:
+            ConfigurationError: before :meth:`finish_build`.
+        """
+        from repro.frontend.service import BodFrontend
+
+        if self.controller is None:
+            raise ConfigurationError(
+                "finish_build() must run before enable_frontend()"
+            )
+        if self.pipeline is None:
+            self.enable_pipeline(**pipeline_kwargs)
+        elif pipeline_kwargs:
+            raise ConfigurationError(
+                "pipeline already enabled; pipeline kwargs "
+                f"{sorted(pipeline_kwargs)} cannot be applied"
+            )
+        self.frontend = BodFrontend(
+            self.pipeline,
+            self.controller.admission,
+            self.sim,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            queue_capacity=queue_capacity,
+            shed_high=shed_high,
+            shed_low=shed_low,
+            bucket_rate=bucket_rate,
+            bucket_burst=bucket_burst,
+            pump_interval=pump_interval,
+        )
+        return self.frontend
 
     def service_for(
         self,

@@ -1,0 +1,44 @@
+"""The async BoD service frontend: millions of tenants, one edge.
+
+``repro.frontend`` is the always-on service layer between simulated
+clients and the order backends:
+
+* :mod:`repro.frontend.aio` — the deterministic async runtime over the
+  sim kernel (:class:`SimFuture` / :class:`Task` / :func:`sleep` /
+  :func:`gather`);
+* :mod:`repro.frontend.ratelimit` — lazily materialized per-tenant
+  token buckets on the sim clock;
+* :mod:`repro.frontend.service` — :class:`BodFrontend`: the three edge
+  gates (rate limit, non-mutating quota probe, hysteresis load
+  shedding), the bounded submission queue with its intake pump, and
+  streaming order-status resolution over any
+  :class:`repro.api.OrderIntake` backend;
+* :mod:`repro.frontend.clients` — open-loop Poisson client fleets over
+  heavy-tailed tenant populations, for the load benchmarks.
+"""
+
+from repro.frontend.aio import SimFuture, Task, gather, sleep
+from repro.frontend.clients import ClientFleet, FleetStats, teardown_active
+from repro.frontend.ratelimit import BucketSet, TokenBucket
+from repro.frontend.service import (
+    STATE_OPEN,
+    STATE_SHEDDING,
+    BodFrontend,
+    FrontendTicket,
+)
+
+__all__ = [
+    "SimFuture",
+    "Task",
+    "gather",
+    "sleep",
+    "BucketSet",
+    "TokenBucket",
+    "BodFrontend",
+    "FrontendTicket",
+    "STATE_OPEN",
+    "STATE_SHEDDING",
+    "ClientFleet",
+    "FleetStats",
+    "teardown_active",
+]

@@ -9,7 +9,11 @@ from typing import Dict, List
 
 @dataclass(frozen=True)
 class Summary:
-    """Summary statistics of a sample series."""
+    """Summary statistics of a sample series.
+
+    ``p99`` defaults to 0.0 for compatibility with callers constructing
+    summaries positionally; :func:`summarize` always fills it.
+    """
 
     count: int
     mean: float
@@ -17,11 +21,13 @@ class Summary:
     maximum: float
     p50: float
     p95: float
+    p99: float = 0.0
 
     def __str__(self) -> str:
         return (
             f"n={self.count} mean={self.mean:.4g} min={self.minimum:.4g} "
-            f"p50={self.p50:.4g} p95={self.p95:.4g} max={self.maximum:.4g}"
+            f"p50={self.p50:.4g} p95={self.p95:.4g} p99={self.p99:.4g} "
+            f"max={self.maximum:.4g}"
         )
 
 
@@ -57,6 +63,7 @@ def summarize(samples: List[float]) -> Summary:
         maximum=ordered[-1],
         p50=_percentile(ordered, 0.50),
         p95=_percentile(ordered, 0.95),
+        p99=_percentile(ordered, 0.99),
     )
 
 

@@ -127,6 +127,7 @@ class MetricsRegistry:
                 "min": summary.minimum,
                 "p50": summary.p50,
                 "p95": summary.p95,
+                "p99": summary.p99,
                 "max": summary.maximum,
             }
         gauges: Dict[str, Any] = {}

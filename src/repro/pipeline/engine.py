@@ -37,12 +37,21 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.connection import ConnectionKind
 from repro.core.rwa import PlanRequest
 from repro.errors import ConfigurationError, GriphonError
 from repro.sim.process import Process
+
+#: Controller lifecycle events re-broadcast to intake listeners, mapped
+#: onto the backend-agnostic :class:`repro.api.OrderIntake` event names.
+_CONTROLLER_EVENTS = {
+    "up": "active",
+    "setup-degraded": "degraded",
+    "setup-failed": "failed",
+    "released": "released",
+}
 
 
 class TicketState(Enum):
@@ -216,6 +225,9 @@ class OrderPipeline:
         self._tickets: Dict[str, OrderTicket] = {}
         self._proc: Optional[Process] = None
         self._rounds = 0
+        self._listeners: List[Callable[[OrderTicket, str], None]] = []
+        self._by_connection: Dict[str, OrderTicket] = {}
+        controller.observers.append(self._on_controller_event)
         self._metrics.register_gauge(
             "pipeline.queue_depth", lambda: len(self._heap)
         )
@@ -253,6 +265,7 @@ class OrderPipeline:
             ticket.settled_at = self._sim.now
             self._metrics.inc("pipeline.queue_full")
             self._tracer.event("pipeline.queue_full", order=ticket.order_id)
+            self._emit(ticket, "settled")
             return ticket
         tiebreak = 0.0
         if self._tiebreak_streams is not None:
@@ -289,6 +302,84 @@ class OrderPipeline:
     def queue_depth(self) -> int:
         """Orders currently waiting for a round."""
         return len(self._heap)
+
+    def outcome(self, ticket: OrderTicket):
+        """The ticket's typed status from :data:`repro.api.OrderStatus`.
+
+        ``None`` while the order is still queued; otherwise exactly the
+        classification :meth:`repro.core.service.BodService.order_outcome`
+        returns, minus the customer-scoping check — this is the
+        backend-level half of the :class:`repro.api.OrderIntake`
+        contract.
+        """
+        from repro import api
+
+        if ticket.state is TicketState.QUEUED:
+            return None
+        if ticket.state is TicketState.QUEUE_FULL:
+            return api.QueueFull(
+                order_id=ticket.order_id,
+                capacity=self._capacity,
+                reason=ticket.reason,
+            )
+        if ticket.state is TicketState.DEFERRED:
+            return api.Deferred(
+                order_id=ticket.order_id,
+                rounds_deferred=ticket.rounds_deferred,
+                reason=ticket.reason,
+            )
+        connection = self._controller.connection(ticket.connection_id)
+        return api.classify_record(connection)
+
+    # -- lifecycle listeners ---------------------------------------------------
+
+    def add_listener(
+        self, listener: Callable[[OrderTicket, str], None]
+    ) -> None:
+        """Subscribe to ticket lifecycle events.
+
+        See :meth:`repro.api.OrderIntake.add_listener` for the event
+        vocabulary: ``"settled"`` at every terminal intake state, then
+        ``"active"`` / ``"degraded"`` / ``"failed"`` when an accepted
+        order's setup concludes, and ``"released"`` after teardown.
+        """
+        self._listeners.append(listener)
+
+    def teardown(self, ticket: OrderTicket) -> None:
+        """Tear down an accepted ticket's connection.
+
+        Raises:
+            ConfigurationError: for a ticket that never claimed a
+                connection (queued, refused, or deferred).
+        """
+        if ticket.state is not TicketState.ACCEPTED or (
+            ticket.connection_id is None
+        ):
+            raise ConfigurationError(
+                f"order {ticket.order_id!r} holds no connection to tear "
+                f"down (state {ticket.state.value})"
+            )
+        self._controller.teardown_connection(ticket.connection_id)
+
+    def _emit(self, ticket: OrderTicket, event: str) -> None:
+        """Broadcast one ticket lifecycle edge to every listener."""
+        for listener in list(self._listeners):
+            listener(ticket, event)
+
+    def _on_controller_event(self, event: str, payload: dict) -> None:
+        """Controller observer: re-broadcast setup/teardown conclusions."""
+        if not self._listeners:
+            return
+        name = _CONTROLLER_EVENTS.get(event)
+        if name is None:
+            return
+        connection = payload.get("connection")
+        if connection is None:
+            return
+        ticket = self._by_connection.get(connection.connection_id)
+        if ticket is None:
+            return
+        self._emit(ticket, name)
 
     @property
     def rounds(self) -> int:
@@ -432,6 +523,10 @@ class OrderPipeline:
             self._metrics.inc("pipeline.blocked")
         else:
             self._metrics.inc("pipeline.accepted")
+            # Accepted orders keep streaming setup/teardown conclusions
+            # to listeners; index the ticket by its connection record.
+            self._by_connection[connection.connection_id] = ticket
+        self._emit(ticket, "settled")
 
     def _defer(self, entry: _QueuedOrder, connection, span, reason: str) -> None:
         """Return a contention loser to the queue with its old priority."""
@@ -454,3 +549,4 @@ class OrderPipeline:
             f"{error}"
         )
         self._metrics.inc("pipeline.deferred_terminal")
+        self._emit(ticket, "settled")

@@ -35,6 +35,7 @@ __all__ = [
     "SegmentSpec",
     "ShardPlanner",
     "ShardedNetwork",
+    "ShardIntake",
     "build_sharded_network",
     "shard_plan_spec",
     "outcome_fingerprint",
@@ -44,6 +45,7 @@ _LAZY = {
     "SegmentSpec": "repro.shard.planner",
     "ShardPlanner": "repro.shard.planner",
     "ShardedNetwork": "repro.shard.network",
+    "ShardIntake": "repro.shard.intake",
     "build_sharded_network": "repro.shard.network",
     "outcome_fingerprint": "repro.shard.network",
     "shard_plan_spec": "repro.shard.bench",

@@ -38,7 +38,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.admission import AdmissionControl, CustomerProfile
 from repro.core.connection import Connection, ConnectionKind, ConnectionState
@@ -186,6 +186,12 @@ class ShardedNetwork:
         self.planner = ShardPlanner(hierarchy)
         self.admission = AdmissionControl()
         self.orders: Dict[str, ShardOrder] = {}
+        #: Observers called with ``(order, event)`` on order lifecycle
+        #: edges: ``"blocked"`` (refused at placement or rolled back by
+        #: the setup saga), ``"up"``, and ``"released"``.  This is the
+        #: sharded counterpart of ``GriphonController.observers`` and
+        #: what :class:`repro.shard.intake.ShardIntake` re-broadcasts.
+        self.order_listeners: List[Callable[[ShardOrder, str], None]] = []
         self._order_seq = itertools.count()
         self._streams = RandomStreams(seed)
         self._prefix = hierarchy.params.get("premises_prefix", "DC-")
@@ -432,7 +438,12 @@ class ShardedNetwork:
             self.admission.release(order.customer, order.rate_bps)
         order.state = ConnectionState.BLOCKED
         order.blocked_reason = str(exc)
+        self._notify_order(order, "blocked")
         return order
+
+    def _notify_order(self, order: ShardOrder, event: str) -> None:
+        for listener in list(self.order_listeners):
+            listener(order, event)
 
     def _plan_segments(
         self,
@@ -647,6 +658,7 @@ class ShardedNetwork:
                 child.up_at = self.sim.now
             order.state = ConnectionState.UP
             order.up_at = self.sim.now
+            self._notify_order(order, "up")
             return
         # Cross-shard unwind.
         error = failed.lightpath.setup_error
@@ -676,6 +688,7 @@ class ShardedNetwork:
         self.admission.release(order.customer, order.rate_bps)
         order.state = ConnectionState.BLOCKED
         order.blocked_reason = f"setup failed: {error}"
+        self._notify_order(order, "blocked")
 
     def _teardown_workflow(self, order: ShardOrder):
         for segment in reversed(order.segments):
@@ -702,6 +715,7 @@ class ShardedNetwork:
         self.admission.release(order.customer, order.rate_bps)
         order.state = ConnectionState.RELEASED
         order.released_at = self.sim.now
+        self._notify_order(order, "released")
 
 
 def build_sharded_network(

@@ -22,6 +22,8 @@ from repro.sweep.studies import (
     STUDIES,
     availability_trial,
     build_waxman_network,
+    frontend_load_spec,
+    frontend_trial,
     pipeline_load_spec,
     pipeline_trial,
     resolve_study,
@@ -39,6 +41,8 @@ __all__ = [
     "TrialSpec",
     "availability_trial",
     "build_waxman_network",
+    "frontend_load_spec",
+    "frontend_trial",
     "pipeline_load_spec",
     "pipeline_trial",
     "resolve_study",

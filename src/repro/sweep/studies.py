@@ -287,6 +287,77 @@ def pipeline_trial(trial: TrialSpec) -> TrialResult:
     )
 
 
+def frontend_trial(trial: TrialSpec) -> TrialResult:
+    """An open-loop tenant fleet against the async service frontend.
+
+    The frontend study: a heavy-tailed tenant population submits
+    through :class:`~repro.frontend.BodFrontend` at the trial's
+    ``arrival_rate`` (the overload axis), and the trial measures the
+    edge's triage — admitted / shed / throttled conservation, sustained
+    admitted orders per second, and the p99 frontend-submit → ACTIVE
+    latency for orders that made it all the way up.
+    """
+    from repro.frontend.clients import ClientFleet
+    from repro.workload.tenants import TenantPopulation
+
+    params = trial.params
+    duration = float(params.get("duration_s", 60.0))
+    net = _build_topology(trial)
+    frontend = net.enable_frontend(
+        queue_capacity=int(params.get("queue_capacity", 256)),
+        bucket_rate=float(params.get("bucket_rate", 1.0)),
+        bucket_burst=float(params.get("bucket_burst", 8.0)),
+        pump_interval=float(params.get("pump_interval", 0.05)),
+        capacity=int(params.get("capacity", 256)),
+        round_size=int(params.get("round_size", 8)),
+        round_interval=float(params.get("round_interval", 0.01)),
+    )
+    population = TenantPopulation(
+        int(params.get("tenants", 1000)),
+        zipf_s=float(params.get("zipf_s", 1.1)),
+        max_connections=int(params.get("max_connections", 4)),
+        max_total_rate_gbps=float(params.get("max_total_rate_gbps", 40.0)),
+    )
+    premises = sorted(net.inventory.ntes)
+    fleet = ClientFleet(
+        frontend,
+        population,
+        net.controller.admission,
+        premises=premises,
+        streams=net.streams.spawn("fleet"),
+        arrival_rate=float(params.get("arrival_rate", 10.0)),
+        duration=duration,
+        rate_choices_gbps=tuple(params.get("rate_choices_gbps", (10.0,))),
+    )
+    fleet.start()
+    net.run()
+    state = net.metrics.state()
+    counters = state["counters"]
+    submitted = counters.get("frontend.submitted", 0.0) or 1.0
+    latencies = sorted(fleet.stats.order_to_active)
+    p99 = latencies[max(0, int(len(latencies) * 0.99) - 1)] if latencies else float("nan")
+    return TrialResult(
+        values={
+            "submitted": fleet.stats.submitted,
+            "admitted": counters.get("frontend.admitted", 0.0),
+            "shed": counters.get("frontend.shed", 0.0),
+            "throttled": counters.get("frontend.throttled", 0.0),
+            "active": counters.get("frontend.active", 0.0),
+            "shed_rate": counters.get("frontend.shed", 0.0) / submitted,
+            "throttle_rate": counters.get("frontend.throttled", 0.0) / submitted,
+            "admitted_per_s": counters.get("frontend.admitted", 0.0) / duration,
+            "p99_order_to_active_s": p99,
+            "registered_tenants": population.registered_count,
+            "conserved": counters.get("frontend.submitted", 0.0)
+            == counters.get("frontend.admitted", 0.0)
+            + counters.get("frontend.shed", 0.0)
+            + counters.get("frontend.throttled", 0.0),
+        },
+        samples={"order_to_active_s": latencies},
+        metrics=state,
+    )
+
+
 def shard_plan_trial(trial: TrialSpec) -> TrialResult:
     """One shard planning its batched workload (see :mod:`repro.shard.bench`).
 
@@ -305,6 +376,7 @@ STUDIES: Dict[str, Callable[[TrialSpec], TrialResult]] = {
     "scaling": scaling_trial,
     "scenario": scenario_trial,
     "pipeline": pipeline_trial,
+    "frontend": frontend_trial,
     "shard-plan": shard_plan_trial,
 }
 
@@ -385,6 +457,39 @@ def pipeline_load_spec(
         name="pipeline-load",
         runner=pipeline_trial,
         axes={"orders": tuple(orders)},
+        fixed=merged,
+        repeats=repeats,
+        base_seed=base_seed,
+    )
+
+
+def frontend_load_spec(
+    arrival_rates: Sequence[float] = (5.0, 10.0, 20.0, 50.0),
+    repeats: int = 1,
+    base_seed: int = 990,
+    tenants: int = 1000,
+    duration_s: float = 60.0,
+    topology: str = "testbed",
+    **fixed: Any,
+) -> SweepSpec:
+    """The frontend study: edge triage vs offered load.
+
+    Sweeps the open-loop arrival rate of a heavy-tailed tenant fleet
+    through the service frontend, showing the shed/throttle curve as
+    offered load outgrows the edge (the ``arrival_rate`` axis is the
+    overload knob: double it and the compliant backend load should stay
+    put while the shed rate climbs).
+    """
+    merged: Dict[str, Any] = {
+        "tenants": tenants,
+        "duration_s": duration_s,
+        "topology": topology,
+    }
+    merged.update(fixed)
+    return SweepSpec(
+        name="frontend-load",
+        runner=frontend_trial,
+        axes={"arrival_rate": tuple(arrival_rates)},
         fixed=merged,
         repeats=repeats,
         base_seed=base_seed,

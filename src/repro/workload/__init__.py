@@ -10,7 +10,10 @@ traffic (diurnal, latency-sensitive).  This package generates both:
   through a BoD service;
 * :mod:`repro.workload.interactive` — diurnal bandwidth-demand curves;
 * :mod:`repro.workload.traces` — synthetic inter-DC traffic matrices
-  (gravity-model, bulk-dominated as in Chen et al.'s Yahoo! study).
+  (gravity-model, bulk-dominated as in Chen et al.'s Yahoo! study);
+* :mod:`repro.workload.tenants` — heavy-tailed (Zipf) tenant
+  populations with lazy profile registration, for the service-frontend
+  load benchmarks.
 """
 
 from repro.workload.arrivals import DiurnalProfile, PoissonArrivals
@@ -25,6 +28,7 @@ from repro.workload.failures import (
 )
 from repro.workload.bulk import BulkTransferWorkload, TransferRecord
 from repro.workload.interactive import InteractiveDemand
+from repro.workload.tenants import TenantPopulation, zipf_share
 from repro.workload.traces import TrafficMatrix, synthesize_traffic_matrix
 
 __all__ = [
@@ -40,6 +44,8 @@ __all__ = [
     "BulkTransferWorkload",
     "TransferRecord",
     "InteractiveDemand",
+    "TenantPopulation",
+    "zipf_share",
     "TrafficMatrix",
     "synthesize_traffic_matrix",
 ]

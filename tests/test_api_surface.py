@@ -7,6 +7,7 @@ import pytest
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.api",
     "repro.baselines",
     "repro.cli",
     "repro.core",
@@ -20,6 +21,7 @@ PUBLIC_MODULES = [
     "repro.ems",
     "repro.errors",
     "repro.facade",
+    "repro.frontend",
     "repro.iplayer",
     "repro.legacy",
     "repro.metrics",

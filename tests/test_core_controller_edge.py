@@ -151,6 +151,60 @@ class TestBridgeRollRaces:
         for pool in net.inventory.transponders.values():
             assert all(not ot.in_use for ot in pool.transponders)
 
+    def test_teardown_during_roll_hit_aborts_roll(self, net, svc):
+        """A teardown landing inside the ~50 ms roll hit must leave the
+        old path to the teardown and release the bridge (regression:
+        used to re-tear the old lightpath and crash the workflow)."""
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        events = []
+        net.controller.observers.append(
+            lambda name, payload: events.append(name)
+        )
+        net.controller.bridge_and_roll(conn.connection_id)
+        fired = []
+
+        def probe():
+            if conn.outage_started_at is not None:  # inside the roll hit
+                fired.append(net.sim.now)
+                svc.teardown_connection(conn.connection_id)
+            else:
+                net.sim.schedule(0.01, probe)
+
+        net.sim.schedule(0.01, probe)
+        net.run()
+        assert fired
+        assert conn.state is ConnectionState.RELEASED
+        assert net.inventory.lightpaths == {}
+        assert "bridge-and-roll-aborted" in events
+        for pool in net.inventory.transponders.values():
+            assert all(not ot.in_use for ot in pool.transponders)
+
+    def test_concurrent_bridge_and_roll_single_winner(self, net, svc):
+        """Two overlapping bridge-and-rolls: the loser must notice the
+        connection already moved off the old path and release its own
+        bridge (regression: used to orphan the winner's bridge and
+        re-tear the old lightpath)."""
+        conn = svc.request_connection("PREMISES-A", "PREMISES-C", 10)
+        net.run()
+        events = []
+        net.controller.observers.append(
+            lambda name, payload: events.append(name)
+        )
+        net.controller.bridge_and_roll(conn.connection_id)
+        net.controller.bridge_and_roll(conn.connection_id)
+        net.run()
+        assert conn.state is ConnectionState.UP
+        assert events.count("bridge-and-roll") == 1
+        assert events.count("bridge-and-roll-aborted") == 1
+        # Exactly one lightpath survives, and the connection owns it.
+        assert set(net.inventory.lightpaths) == set(conn.lightpath_ids)
+        svc.teardown_connection(conn.connection_id)
+        net.run()
+        assert net.inventory.lightpaths == {}
+        for pool in net.inventory.transponders.values():
+            assert all(not ot.in_use for ot in pool.transponders)
+
     def test_cut_during_bridge_aborts_roll(self, net, svc):
         """A failure of the old path mid-bridge hands the connection to
         restoration; the half-built bridge must not survive as a ghost."""

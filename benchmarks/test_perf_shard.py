@@ -2,11 +2,15 @@
 
 A constant 512-PoP topology planned as one monolithic 512-node shard
 versus four 128-node region shards (plus the express shard), each run
-process-parallel through the sweep engine.  The acceptance bar is
->= 2x orders/sec for the 4-shard deployment; the determinism assertion
-proves both job counts of every config produce byte-identical
-aggregates.  ``benchmarks/shard_report.py`` emits the full measurement
-(including the 16-shard point and latency percentiles) as
+process-parallel through the sweep engine — with per-trial rebuilds
+(the historical mode) and on the persistent
+:class:`repro.shard.workers.ShardWorkerPool`.  The acceptance bars:
+>= 2x orders/sec for the rebuild 4-shard deployment over the rebuild
+monolith, and pooled throughput >= single-process at 4 shards (the
+regression guard for the rebuild-overhead inversion the pool fixes).
+The determinism assertions prove every mode of every config produces
+identical plans.  ``benchmarks/shard_report.py`` emits the full
+measurement (including the 16-shard point and latency percentiles) as
 ``BENCH_shard.json``.
 """
 
@@ -31,18 +35,25 @@ def test_perf_shard_planning(benchmark):
     print_rows(
         "Shard: monolithic 512-PoP vs 4x128 process-parallel planning",
         [
-            ["config", "orders/sec (parallel)", "p95 latency (ms)"],
+            [
+                "config",
+                "orders/sec (rebuild)",
+                "orders/sec (pooled)",
+                "p95 latency (ms)",
+            ],
             [
                 "1 x 512",
                 f"{mono['process_parallel_orders_per_sec']:.1f}",
+                f"{mono['pooled_orders_per_sec']:.1f}",
                 f"{mono['plan_latency_p95_ms']:.2f}",
             ],
             [
                 "4 x 128",
                 f"{sharded['process_parallel_orders_per_sec']:.1f}",
+                f"{sharded['pooled_orders_per_sec']:.1f}",
                 f"{sharded['plan_latency_p95_ms']:.2f}",
             ],
-            ["speedup", f"{speedup:.2f}x", ""],
+            ["speedup", f"{speedup:.2f}x", "", ""],
         ],
     )
     benchmark.extra_info.update(
@@ -50,6 +61,8 @@ def test_perf_shard_planning(benchmark):
             "speedup": speedup,
             "deterministic": mono["deterministic"]
             and sharded["deterministic"],
+            "pooled_deterministic": mono["pooled_deterministic"]
+            and sharded["pooled_deterministic"],
         }
     )
 
@@ -59,3 +72,12 @@ def test_perf_shard_planning(benchmark):
     assert mono["planned"] > 0 and sharded["planned"] > 0
     # ...and the 4-shard deployment clears the 2x throughput bar.
     assert speedup >= 2.0, results
+    # The persistent pool plans the identical projection...
+    assert mono["pooled_deterministic"], mono
+    assert sharded["pooled_deterministic"], sharded
+    # ...and at 4 shards beats single-process — the guard against the
+    # rebuild-overhead inversion BENCH_shard.json used to record.
+    assert (
+        sharded["pooled_orders_per_sec"]
+        >= sharded["single_process_orders_per_sec"]
+    ), results

@@ -211,10 +211,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     else:
         spec_data = json.loads(Path(args.study).read_text())
         spec = SweepSpec.from_dict(spec_data)
-    result = run_sweep(spec, jobs=args.jobs, timeout_s=args.timeout)
+    pool = None
+    if getattr(args, "pool", False):
+        if args.study != "shard":
+            print("--pool serves shard-plan trials; use it with the "
+                  "'shard' study")
+            return 2
+        from repro.shard.workers import ShardWorkerPool
+
+        pool = ShardWorkerPool(recover=True)
+    try:
+        result = run_sweep(
+            spec, jobs=args.jobs, timeout_s=args.timeout, executor=pool
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    width = f"pool={pool.size}" if pool is not None else f"jobs={args.jobs}"
     print(
         f"sweep {spec.name}: {len(result.results)} trial(s), "
-        f"jobs={args.jobs}, {result.elapsed_s:.2f}s wall-clock, "
+        f"{width}, {result.elapsed_s:.2f}s wall-clock, "
         f"{len(result.failed)} failed"
     )
     for label, means in result.grouped_values().items():
@@ -585,6 +601,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--timeout", type=float, default=900.0,
         help="watchdog: fail if no trial completes for this many seconds",
+    )
+    sweep.add_argument(
+        "--pool", action="store_true",
+        help="serve trials from a persistent shard worker pool (shard "
+        "study only): units build once and stay warm across trials",
     )
     sweep.add_argument(
         "--json", metavar="PATH", default=None,

@@ -122,3 +122,15 @@ class SweepTimeoutError(GriphonError):
     Raised by the sweep engine's watchdog so a deadlocked worker pool
     fails the run (e.g. a CI job) instead of hanging it forever.
     """
+
+
+class WorkerCrashed(GriphonError):
+    """A shard worker process died mid-RPC (or never came up).
+
+    Raised by :class:`repro.shard.workers.ShardWorkerPool` when a
+    worker's pipe breaks or a reply never arrives.  Distinct from the
+    planning errors a *healthy* worker reports back — those are rebuilt
+    as their original types — so callers can treat a crash as an
+    infrastructure event (respawn and replay) rather than a plan
+    outcome.
+    """

@@ -247,3 +247,19 @@ class FiberPlant:
     def failed_links(self) -> List[Tuple[str, str]]:
         """Keys of all currently failed links."""
         return [key for key, dwdm in self._links.items() if dwdm.failed]
+
+    def occupancy_snapshot(self) -> Dict[Tuple[str, str], int]:
+        """Occupied-channel bitmask per link, omitting fully dark links.
+
+        Bit ``i`` set means channel ``i`` is lit.  This is the compact
+        state a shard worker's plant mirror needs to plan identically:
+        delta-sync ships only the links whose mask changed since the
+        last round.
+        """
+        full = (1 << self._grid.size) - 1
+        result: Dict[Tuple[str, str], int] = {}
+        for key, dwdm in self._links.items():
+            occupied = full & ~dwdm.free_mask()
+            if occupied:
+                result[key] = occupied
+        return result

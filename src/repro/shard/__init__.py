@@ -14,7 +14,12 @@ shards over a 3-tier hierarchical topology
   orders, plus the equivalent monolithic deployment for differential
   testing;
 * :mod:`repro.shard.bench` — the sweep-engine mapping that plans shard
-  batches process-parallel.
+  batches process-parallel;
+* :mod:`repro.shard.workers` — :class:`ShardWorkerPool`, long-lived
+  plan-RPC worker processes (one per :class:`UnitRecipe`) with warm
+  route caches: the ``backend="pool"`` planning layer of
+  :class:`ShardedNetwork` and the warm executor for ``sweep
+  shard-plan``.
 
 ``ShardedNetwork`` (and everything in ``network``/``bench``) is
 exported lazily: ``unit`` is imported *by* ``repro.core.controller``,
@@ -39,6 +44,9 @@ __all__ = [
     "build_sharded_network",
     "shard_plan_spec",
     "outcome_fingerprint",
+    "ShardWorkerPool",
+    "UnitRecipe",
+    "recipe_for_trial",
 ]
 
 _LAZY = {
@@ -49,6 +57,9 @@ _LAZY = {
     "build_sharded_network": "repro.shard.network",
     "outcome_fingerprint": "repro.shard.network",
     "shard_plan_spec": "repro.shard.bench",
+    "ShardWorkerPool": "repro.shard.workers",
+    "UnitRecipe": "repro.shard.workers",
+    "recipe_for_trial": "repro.shard.workers",
 }
 
 

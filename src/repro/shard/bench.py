@@ -20,15 +20,24 @@ turns into orders/sec per shard count.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.rwa import PlanRequest
 from repro.sim.randomness import RandomStreams
-from repro.sweep.engine import TrialResult
+from repro.sweep.engine import SweepResult, TrialResult
 from repro.sweep.spec import SweepSpec, TrialSpec
 from repro.topo.hierarchy import EXPRESS, region_name
 from repro.shard.unit import ShardUnit, build_express_unit, build_region_unit
 from repro.units import GBPS
+
+#: The simulation-determined keys of a shard-plan trial's values: what
+#: must match byte-for-byte between a per-trial rebuild and a warm
+#: pooled worker.  Route-cache counters are deliberately outside this
+#: set — a warm worker legitimately reports more hits than a cold
+#: rebuild while planning the exact same outcomes.
+PLAN_DETERMINED_VALUES = (
+    "unit", "nodes", "planned", "blocked", "orders", "fingerprint",
+)
 
 
 def bench_workload(
@@ -57,6 +66,90 @@ def bench_workload(
         yield requests
 
 
+def run_plan_rounds(
+    unit: ShardUnit,
+    topology_seed: int,
+    rounds: int,
+    orders_per_round: int,
+    on_commit: Optional[Callable[[str, Any], None]] = None,
+) -> Dict[str, Any]:
+    """Run one shard's benchmark workload against an already-built unit.
+
+    The core of a shard-plan trial, shared verbatim by the per-trial
+    rebuild path (:func:`shard_plan_trial`) and the persistent-worker
+    ``trial`` RPC (:mod:`repro.shard.workers`) — same workload draw,
+    same owner sequence, same fingerprint bytes.  ``on_commit(owner,
+    plan)`` is invoked for every occupied plan so a worker can track
+    what to unwind on ``reset``.
+    """
+    planned = blocked = sequence = 0
+    digest = hashlib.sha256()
+    for requests in bench_workload(
+        unit, topology_seed, rounds, orders_per_round
+    ):
+        for item in unit.plan_batch(requests):
+            request = item.request
+            if item.ok:
+                owner = f"bench-{sequence}"
+                unit.occupy_plan(item.plan, owner)
+                if on_commit is not None:
+                    on_commit(owner, item.plan)
+                planned += 1
+                digest.update(
+                    repr(
+                        (
+                            request.source,
+                            request.destination,
+                            tuple(item.plan.path),
+                            tuple(s.channel for s in item.plan.segments),
+                            tuple(item.plan.regen_sites),
+                        )
+                    ).encode("utf-8")
+                )
+            else:
+                blocked += 1
+                digest.update(
+                    repr(
+                        (
+                            request.source,
+                            request.destination,
+                            type(item.error).__name__,
+                        )
+                    ).encode("utf-8")
+                )
+            sequence += 1
+    cache = unit.route_cache_stats()
+    return {
+        "unit": unit.name,
+        "nodes": len(unit.graph.nodes),
+        "planned": planned,
+        "blocked": blocked,
+        "orders": planned + blocked,
+        "fingerprint": digest.hexdigest(),
+        "route_cache_hits": cache["hits"],
+        "route_cache_misses": cache["misses"],
+        "route_cache_evictions": cache["evictions"],
+    }
+
+
+def plan_projection(result: SweepResult) -> List[Dict[str, Any]]:
+    """The simulation-determined slice of a shard-plan sweep result.
+
+    The pooled-vs-rebuild determinism gate compares this projection:
+    per trial, the :data:`PLAN_DETERMINED_VALUES` plus identity and
+    error.  Cache counters stay visible in the full aggregate (they
+    show the warm-worker benefit) but outside the gate.
+    """
+    return [
+        {
+            "trial_id": r.trial_id,
+            "error": r.error,
+            **{key: r.values.get(key) for key in PLAN_DETERMINED_VALUES},
+        }
+        for r in result.results
+    ]
+
+
 def shard_plan_trial(trial: TrialSpec) -> TrialResult:
     """Plan one shard's batched workload; the shard-throughput runner.
 
@@ -64,6 +157,9 @@ def shard_plan_trial(trial: TrialSpec) -> TrialResult:
     hierarchy parameters, then runs ``rounds`` scheduling rounds of
     ``orders_per_round`` batched plans, lighting each successful plan's
     channels between rounds so later rounds plan against real occupancy.
+    The rebuild is the cost a persistent worker
+    (:class:`repro.shard.workers.ShardWorkerPool`) pays once instead of
+    per trial.
     """
     params = trial.params
     unit_name = str(params["unit"])
@@ -91,52 +187,8 @@ def shard_plan_trial(trial: TrialSpec) -> TrialResult:
             grid_size=grid_size,
             k_paths=k_paths,
         )
-    planned = blocked = sequence = 0
-    digest = hashlib.sha256()
-    for requests in bench_workload(
-        unit, topology_seed, rounds, orders_per_round
-    ):
-        for item in unit.plan_batch(requests):
-            request = item.request
-            if item.ok:
-                unit.occupy_plan(item.plan, f"bench-{sequence}")
-                planned += 1
-                digest.update(
-                    repr(
-                        (
-                            request.source,
-                            request.destination,
-                            tuple(item.plan.path),
-                            tuple(s.channel for s in item.plan.segments),
-                            tuple(item.plan.regen_sites),
-                        )
-                    ).encode("utf-8")
-                )
-            else:
-                blocked += 1
-                digest.update(
-                    repr(
-                        (
-                            request.source,
-                            request.destination,
-                            type(item.error).__name__,
-                        )
-                    ).encode("utf-8")
-                )
-            sequence += 1
-    cache = unit.route_cache_stats()
     return TrialResult(
-        values={
-            "unit": unit_name,
-            "nodes": len(unit.graph.nodes),
-            "planned": planned,
-            "blocked": blocked,
-            "orders": planned + blocked,
-            "fingerprint": digest.hexdigest(),
-            "route_cache_hits": cache["hits"],
-            "route_cache_misses": cache["misses"],
-            "route_cache_evictions": cache["evictions"],
-        }
+        values=run_plan_rounds(unit, topology_seed, rounds, orders_per_round)
     )
 
 

@@ -10,6 +10,14 @@ monolithic-twin) planner.  Because both backends implement
 :class:`repro.api.OrderIntake`, the frontend is deployment-agnostic,
 and the differential test drives the frontend against both twin modes
 expecting identical outcome streams.
+
+The intake is equally agnostic to the network's *planning* backend: a
+``ShardedNetwork(backend="pool")`` drives its placement rounds through
+the persistent worker processes of :class:`repro.shard.workers.
+ShardWorkerPool` with byte-identical typed outcomes, so the PR 7
+frontend gets genuinely parallel sharded planning with zero changes
+here — ``tests/test_shard_pool_differential.py`` pins the equivalence
+through this adapter.
 """
 
 from __future__ import annotations

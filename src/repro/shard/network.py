@@ -31,6 +31,21 @@ node/link exclusions confining candidate routes to the owning unit's
 subgraph.  Identical candidate routes + identical first-fit channel
 scans + identical claim order mean identical structural outcomes,
 which :func:`outcome_fingerprint` hashes for the differential test.
+
+**The pool backend.**  ``backend="pool"`` moves *planning* into the
+persistent worker processes of :class:`repro.shard.workers.
+ShardWorkerPool` — one long-lived worker per unit, each holding a warm
+route cache and a delta-synced mirror of its unit's fiber plant — while
+the controllers stay authoritative for everything stateful: admission,
+claims, sagas, teardown.  Each placement round opens with one
+``round_begin`` RPC per worker shipping only the occupancy/liveness
+deltas since the last round; each order's segments then fan out as
+concurrent ``plan_batch`` RPCs (an order's segments live in distinct
+units with disjoint link sets, so concurrent planning is
+order-equivalent to sequential).  Because plans depend only on graph +
+plant + reach — never on the equipment pools consumed at claim time —
+pool outcomes are byte-identical to in-process outcomes, which the
+pool differential test pins fingerprint-for-fingerprint.
 """
 
 from __future__ import annotations
@@ -55,6 +70,12 @@ from repro.faults.plan import FaultPlan
 from repro.optical.lightpath import LightpathState
 from repro.optical.wavelength import WavelengthGrid
 from repro.shard.planner import SegmentSpec, ShardPlanner
+from repro.shard.workers import (
+    MONOLITH,
+    ShardWorkerPool,
+    UnitRecipe,
+    plant_fingerprint,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 from repro.sim.randomness import RandomStreams
@@ -148,6 +169,46 @@ def outcome_fingerprint(orders: Sequence[ShardOrder]) -> str:
     return digest.hexdigest()
 
 
+class _PlantMirror:
+    """What a worker already knows of its unit's fiber plant.
+
+    Tracks the occupancy masks and failed-link set last shipped to the
+    worker so each ``round_begin`` carries only the delta.  Cut/repair
+    RPCs forwarded eagerly (:meth:`ShardedNetwork.cut_fiber`) are noted
+    here too, so the next round's delta doesn't re-send them.
+    """
+
+    __slots__ = ("plant", "_masks", "_failed")
+
+    def __init__(self, plant) -> None:
+        self.plant = plant
+        self._masks: Dict[Tuple[str, str], int] = {}
+        self._failed: frozenset = frozenset()
+
+    def delta(self) -> dict:
+        current = self.plant.occupancy_snapshot()
+        failed = frozenset(self.plant.failed_links())
+        masks = {
+            key: mask
+            for key, mask in current.items()
+            if self._masks.get(key, 0) != mask
+        }
+        for key in self._masks:
+            if key not in current:
+                masks[key] = 0
+        cut = sorted(failed - self._failed)
+        repair = sorted(self._failed - failed)
+        self._masks = current
+        self._failed = failed
+        return {"masks": masks, "cut": cut, "repair": repair}
+
+    def note_cut(self, key: Tuple[str, str]) -> None:
+        self._failed |= {key}
+
+    def note_repair(self, key: Tuple[str, str]) -> None:
+        self._failed -= {key}
+
+
 class ShardedNetwork:
     """Per-unit controllers over a hierarchy, or their monolithic twin.
 
@@ -155,6 +216,12 @@ class ShardedNetwork:
         hierarchy: The built 3-tier topology (must have premises).
         mode: ``"sharded"`` (one controller per region + express) or
             ``"monolithic"`` (one controller over the full graph).
+        backend: ``"inprocess"`` plans through the controllers' own RWA
+            engines; ``"pool"`` fans planning out to the persistent
+            worker processes of a :class:`~repro.shard.workers.
+            ShardWorkerPool` (byte-identical outcomes — see the module
+            docstring).  Pool mode makes the network a context manager;
+            use ``with`` or call :meth:`close`.
         seed: Seeds each controller's random-stream family.
         transponders_10g / regens_10g: Per-node complement per unit
             (monolithic gateways get double — both units' hardware).
@@ -163,6 +230,9 @@ class ShardedNetwork:
         fault_plans: Optional per-unit fault plans, keyed by unit name
             (region name or :data:`EXPRESS`).  The monolithic twin merges
             them into its single controller.
+        pool: An existing :class:`~repro.shard.workers.ShardWorkerPool`
+            to share (workers for this hierarchy's recipes are ensured);
+            by default pool mode spawns and owns its own.
     """
 
     def __init__(
@@ -175,13 +245,20 @@ class ShardedNetwork:
         grid_size: int = 80,
         k_paths: int = 4,
         fault_plans: Optional[Dict[str, FaultPlan]] = None,
+        backend: str = "inprocess",
+        pool: Optional[ShardWorkerPool] = None,
     ) -> None:
         if mode not in ("sharded", "monolithic"):
             raise ConfigurationError(
                 f"mode must be 'sharded' or 'monolithic', got {mode!r}"
             )
+        if backend not in ("inprocess", "pool"):
+            raise ConfigurationError(
+                f"backend must be 'inprocess' or 'pool', got {backend!r}"
+            )
         self.hierarchy = hierarchy
         self.mode = mode
+        self.backend = backend
         self.sim = Simulator()
         self.planner = ShardPlanner(hierarchy)
         self.admission = AdmissionControl()
@@ -237,6 +314,67 @@ class ShardedNetwork:
             )
             for name in hierarchy.unit_names():
                 self._unit_controller[name] = controller
+        #: unit name -> worker recipe (pool backend only).
+        self._pool_key: Dict[str, UnitRecipe] = {}
+        #: recipe -> parent-side plant mirror (pool backend only).
+        self._mirrors: Dict[UnitRecipe, _PlantMirror] = {}
+        self._pool: Optional[ShardWorkerPool] = None
+        self._owns_pool = False
+        if backend == "pool":
+            if mode == "sharded":
+                self._pool_key = {
+                    unit: UnitRecipe.for_network_unit(
+                        hierarchy, unit, grid_size=grid_size, k_paths=k_paths
+                    )
+                    for unit in self._unit_controller
+                }
+            else:
+                mono = UnitRecipe.for_network_unit(
+                    hierarchy, MONOLITH, grid_size=grid_size, k_paths=k_paths
+                )
+                self._pool_key = {
+                    unit: mono for unit in self._unit_controller
+                }
+            for unit, recipe in self._pool_key.items():
+                if recipe not in self._mirrors:
+                    self._mirrors[recipe] = _PlantMirror(
+                        self._unit_controller[unit].inventory.plant
+                    )
+            if pool is None:
+                pool = ShardWorkerPool(recipes=self._mirrors)
+                self._owns_pool = True
+            else:
+                for recipe in self._mirrors:
+                    pool.ensure(recipe)
+            self._pool = pool
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "ShardedNetwork":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down an owned worker pool (no-op for other backends)."""
+        if self._pool is not None and self._owns_pool:
+            self._pool.close()
+        self._pool = None
+
+    def sync_workers(self) -> None:
+        """Push plant deltas to every worker and reset their rounds.
+
+        Called automatically at the top of every placement round; also
+        useful before comparing :meth:`worker_fingerprints` against
+        :meth:`plant_fingerprints`.
+        """
+        self._pool.call_many(
+            [
+                (recipe, "round_begin", mirror.delta())
+                for recipe, mirror in self._mirrors.items()
+            ]
+        )
 
     def _build_controller(
         self,
@@ -321,7 +459,21 @@ class ShardedNetwork:
         return results
 
     def route_cache_stats(self) -> Dict[str, dict]:
-        """Per-unit route-cache counters (one entry in monolithic mode)."""
+        """Per-unit route-cache counters (one entry in monolithic mode).
+
+        With the pool backend, planning happens in the workers, so the
+        counters come from them (one ``counters`` RPC per worker).
+        """
+        if self.backend == "pool":
+            return {
+                self._unit_key(recipe): counters
+                for recipe, counters in zip(
+                    self._mirrors,
+                    self._pool.call_many(
+                        [(r, "counters", None) for r in self._mirrors]
+                    ),
+                )
+            }
         stats: Dict[str, dict] = {}
         seen = set()
         for unit, controller in self._unit_controller.items():
@@ -331,6 +483,81 @@ class ShardedNetwork:
             key = unit if self.mode == "sharded" else "mono"
             stats[key] = controller.planning.route_cache_stats()
         return stats
+
+    def _unit_key(self, recipe: UnitRecipe) -> str:
+        """The reporting key of a pool recipe (its unit; mono as-is)."""
+        return recipe.unit
+
+    def plant_fingerprints(self) -> Dict[str, str]:
+        """Structural digest of each unit's authoritative fiber plant.
+
+        Backend-independent: the controllers own occupancy and failure
+        state in both backends, so this is the cross-deployment
+        comparison surface.
+        """
+        result: Dict[str, str] = {}
+        seen = set()
+        for unit, controller in self._unit_controller.items():
+            if id(controller) in seen:
+                continue
+            seen.add(id(controller))
+            key = unit if self.mode == "sharded" else "mono"
+            result[key] = plant_fingerprint(controller.inventory.plant)
+        return result
+
+    def worker_fingerprints(self) -> Dict[str, dict]:
+        """Each worker's ``fingerprint`` RPC result (pool backend only).
+
+        After :meth:`sync_workers`, every worker's ``state`` digest
+        equals the matching :meth:`plant_fingerprints` entry — the
+        mirror-correctness invariant the differential test asserts.
+        """
+        if self._pool is None:
+            raise ConfigurationError(
+                "worker_fingerprints needs backend='pool'"
+            )
+        return {
+            self._unit_key(recipe): fingerprint
+            for recipe, fingerprint in zip(
+                self._mirrors,
+                self._pool.call_many(
+                    [(r, "fingerprint", None) for r in self._mirrors]
+                ),
+            )
+        }
+
+    # -- chaos hooks ----------------------------------------------------------
+
+    def _owning_unit(self, a: str, b: str) -> str:
+        region_a = self.hierarchy.region_of(a)
+        region_b = self.hierarchy.region_of(b)
+        if region_a is not None and region_a == region_b:
+            return region_a
+        return EXPRESS
+
+    def cut_fiber(self, a: str, b: str) -> None:
+        """Cut one fiber on the authoritative plant (both backends).
+
+        The owning controller fails affected lightpaths exactly as
+        in-process; with the pool backend the ``cut`` RPC is forwarded
+        eagerly so the worker plans around the break within the same
+        round.
+        """
+        unit = self._owning_unit(a, b)
+        self._unit_controller[unit].cut_link(a, b)
+        if self._pool is not None:
+            recipe = self._pool_key[unit]
+            self._pool.call(recipe, "cut", {"a": a, "b": b})
+            self._mirrors[recipe].note_cut((a, b) if a <= b else (b, a))
+
+    def repair_fiber(self, a: str, b: str) -> None:
+        """Repair one fiber (inverse of :meth:`cut_fiber`)."""
+        unit = self._owning_unit(a, b)
+        self._unit_controller[unit].repair_link(a, b)
+        if self._pool is not None:
+            recipe = self._pool_key[unit]
+            self._pool.call(recipe, "repair", {"a": a, "b": b})
+            self._mirrors[recipe].note_repair((a, b) if a <= b else (b, a))
 
     # -- order intake ---------------------------------------------------------
 
@@ -355,10 +582,20 @@ class ShardedNetwork:
         promised the same gateway/express channel, in either deployment
         mode.  Claiming is immediate (inventory bookkeeping); the EMS
         setup workflows run on the shared simulator.
+
+        With the pool backend the round opens with one delta-sync RPC
+        per worker, and each worker's *persistent* round then plays the
+        overlay role — orders still place sequentially (admission and
+        claim ordering are part of the contract), but an order's
+        segments plan concurrently across their workers.
         """
-        rounds: Dict[str, _PlanningRound] = {
-            unit: _PlanningRound() for unit in self._unit_controller
-        }
+        if self.backend == "pool":
+            self.sync_workers()
+            rounds = None
+        else:
+            rounds = {
+                unit: _PlanningRound() for unit in self._unit_controller
+            }
         return [
             self._place(customer, premises_a, premises_b, rate_bps, rounds)
             for customer, premises_a, premises_b, rate_bps in requests
@@ -457,23 +694,52 @@ class ShardedNetwork:
         Each segment plans through ``plan_batch`` with the round's
         shadow-claim overlay, so earlier orders in the batch (and
         earlier segments of this order) already hold their channels.
-        A failed segment blocks the whole order; the channels its
-        sibling segments shadow-claimed stay claimed for the rest of
-        the round — conservative, but identical in both modes.
+        All of an order's segments plan as one fan-out before failure
+        checking (the pool backend plans them concurrently, so there is
+        no "earlier segment" to stop at).  A failed segment blocks the
+        whole order; the channels its sibling segments shadow-claimed
+        stay claimed for the rest of the round — conservative, but
+        identical across modes *and* backends.
+
+        Pool backend: the segments' ``plan_batch`` RPCs fan out in one
+        :meth:`~repro.shard.workers.ShardWorkerPool.call_many` — an
+        order has at most one segment per unit, and unit link sets are
+        disjoint, so concurrent planning commits the same overlay state
+        sequential planning would.
         """
-        plans: List[RwaPlan] = []
-        for spec in specs:
-            controller = self._unit_controller[spec.unit]
-            request = PlanRequest(
+        requests = [
+            PlanRequest(
                 spec.source,
                 spec.destination,
                 rate_bps,
                 excluded_links=tuple(spec.excluded_links),
                 excluded_nodes=tuple(spec.excluded_nodes),
             )
-            item = controller.rwa.plan_batch(
-                [request], round_ctx=rounds[spec.unit]
-            )[0]
+            for spec in specs
+        ]
+        if self.backend == "pool":
+            items = [
+                batch[0]
+                for batch in self._pool.call_many(
+                    [
+                        (
+                            self._pool_key[spec.unit],
+                            "plan_batch",
+                            {"requests": [request], "round": True},
+                        )
+                        for spec, request in zip(specs, requests)
+                    ]
+                )
+            ]
+        else:
+            items = [
+                self._unit_controller[spec.unit].rwa.plan_batch(
+                    [request], round_ctx=rounds[spec.unit]
+                )[0]
+                for spec, request in zip(specs, requests)
+            ]
+        plans: List[RwaPlan] = []
+        for spec, item in zip(specs, items):
             if not item.ok:
                 raise item.error
             plans.append(item.plan)
@@ -730,13 +996,16 @@ def build_sharded_network(
     k_paths: int = 4,
     fault_plans: Optional[Dict[str, FaultPlan]] = None,
     hierarchy: Optional[Hierarchy] = None,
+    backend: str = "inprocess",
+    pool: Optional[ShardWorkerPool] = None,
 ) -> ShardedNetwork:
     """Build a ready-to-order sharded (or monolithic-twin) network.
 
     The hierarchy is built with premises attached (one per PoP) so
     orders have NTE endpoints; pass ``hierarchy`` to reuse one already
     built — e.g. to run both modes of the differential test on the
-    exact same topology object.
+    exact same topology object.  ``backend="pool"`` plans through
+    persistent worker processes (close the network, or use ``with``).
     """
     if hierarchy is None:
         hierarchy = build_hierarchy(
@@ -755,4 +1024,6 @@ def build_sharded_network(
         grid_size=grid_size,
         k_paths=k_paths,
         fault_plans=fault_plans,
+        backend=backend,
+        pool=pool,
     )

@@ -112,6 +112,14 @@ class ShardUnit:
             for u, v in segment.links:
                 plant.dwdm_link(u, v).occupy(segment.channel, owner)
 
+    def release_plan(self, plan: RwaPlan, owner: str) -> None:
+        """Darken a previously occupied plan's channels (inverse of
+        :meth:`occupy_plan`), verifying ownership per channel."""
+        plant = self.inventory.plant
+        for segment in reversed(plan.segments):
+            for u, v in reversed(segment.links):
+                plant.dwdm_link(u, v).release(segment.channel, owner)
+
     def route_cache_stats(self) -> dict:
         """The route cache's counters (zeros when caching is disabled)."""
         if self.rwa.route_cache is None:
@@ -164,12 +172,17 @@ def build_region_unit(
     route_cache_size: int = 1024,
     alpha: float = 0.4,
     beta: float = 0.35,
+    with_premises: bool = False,
+    premises_prefix: str = "DC-",
 ) -> ShardUnit:
     """Build one region's planning unit, standalone and picklable.
 
     Deterministic in ``(seed, region, params)`` — a sweep worker calling
     this reproduces exactly the region slice the parent derived from
     :func:`repro.topo.hierarchy.build_hierarchy` with the same seed.
+    ``with_premises`` must match the hierarchy's so a worker mirroring a
+    premises-bearing deployment sees the identical graph (premises are
+    leaves, so candidate PoP routes are unaffected either way).
     """
     graph = build_region_graph(
         seed,
@@ -178,6 +191,8 @@ def build_region_unit(
         region_plane_km=region_plane_km,
         alpha=alpha,
         beta=beta,
+        with_premises=with_premises,
+        premises_prefix=premises_prefix,
     )
     inventory = InventoryDatabase(graph, WavelengthGrid(grid_size))
     _install_planning_equipment(inventory, transponders_10g, regens_10g)

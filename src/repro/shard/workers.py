@@ -1,0 +1,737 @@
+"""Persistent shard workers: long-lived plan-RPC processes.
+
+Per-trial rebuilds were the sharded controller's wall-clock sink: every
+``sweep shard-plan`` trial reconstructed its :class:`~repro.shard.unit.
+ShardUnit` from the topology recipe and planned with a cold route
+cache, so ``BENCH_shard.json`` showed process-"parallel" planning
+*slower* than single-process.  This module replaces that with a
+resident planning layer:
+
+* :class:`UnitRecipe` — the deterministic ``(topology_seed, unit name,
+  params)`` recipe a unit rebuilds from.  It is tiny, hashable, and the
+  pool's worker key: two callers asking for the same recipe share one
+  warm worker.
+* ``_worker_main`` — the worker process loop.  It builds its unit
+  **once**, then serves RPCs over a multiprocessing pipe until told to
+  shut down: ``plan_batch``, ``commit`` (light planned channels),
+  ``release``, ``cut``/``repair`` (chaos hooks), ``counters``
+  (route-cache stats), ``fingerprint`` (structural digest for
+  determinism gates), ``round_begin`` (occupancy delta-sync from a
+  parent-side plant mirror), ``reset`` (back to pristine occupancy,
+  cache kept warm), and ``trial`` (a whole shard-plan sweep trial
+  in-worker).
+* :class:`ShardWorkerPool` — the parent-side pool: spawn, RPC fan-out
+  with per-worker FIFO pipelining, journal-based rebuild-and-replay
+  recovery after a crash (:class:`~repro.errors.WorkerCrashed`),
+  graceful context-manager shutdown, and a drop-in sweep *executor*
+  (:meth:`ShardWorkerPool.run_trials`) for
+  :func:`repro.sweep.engine.run_sweep`.
+
+**Determinism.**  A plan's outcome depends only on the unit's graph,
+its fiber plant (occupancy bitmasks, link liveness), and the reach
+model — never on equipment pools, which are consumed at claim time in
+the parent.  A worker that rebuilds the unit from the same recipe and
+mirrors the plant (via ``commit``/``release`` or ``round_begin``
+delta-sync) therefore plans byte-identically to the in-process engine;
+``tests/test_shard_pool_differential.py`` pins this.  Warm route caches
+change *counters*, never plan structure: the cache is invalidated
+exactly on graph generation and failure-epoch changes, so a hit returns
+the same routes a fresh Yen enumeration would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.rwa import _PlanningRound
+from repro.errors import ConfigurationError, GriphonError, SweepTimeoutError, WorkerCrashed
+from repro.shard.unit import (
+    ShardUnit,
+    _install_planning_equipment,
+    build_express_unit,
+    build_region_unit,
+)
+from repro.topo.hierarchy import EXPRESS, Hierarchy
+
+#: The recipe unit name for a full-hierarchy (monolithic-twin) worker.
+MONOLITH = "mono"
+
+#: Channel owner used by delta-sync: occupancy a worker holds only to
+#: mirror the parent plant, as opposed to plans it committed itself.
+MIRROR_OWNER = "~mirror"
+
+#: RPC ops that mutate worker state and therefore enter the replay
+#: journal.  ``plan_batch`` joins them only when planning against the
+#: worker's persistent round (``round=True``), since the round overlay
+#: is state the next plan sees.
+_MUTATING_OPS = frozenset(
+    {"commit", "release", "cut", "repair", "round_begin", "reset", "trial"}
+)
+
+
+def _journaled(op: str, payload: Any) -> bool:
+    if op in _MUTATING_OPS:
+        return True
+    return op == "plan_batch" and bool((payload or {}).get("round"))
+
+
+def plant_fingerprint(plant) -> str:
+    """A structural digest of a fiber plant's occupancy + failure state.
+
+    Owner strings are deliberately excluded: the parent lights channels
+    under lightpath ids while a mirroring worker lights them under
+    :data:`MIRROR_OWNER`, yet both represent the same physical state.
+    """
+    snapshot = plant.occupancy_snapshot()
+    payload = {
+        "occupancy": sorted(
+            (f"{a}={b}", mask) for (a, b), mask in snapshot.items()
+        ),
+        "failed": sorted(f"{a}={b}" for a, b in plant.failed_links()),
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class UnitRecipe:
+    """Everything needed to rebuild one planning unit deterministically.
+
+    The pool keys workers by this recipe: same recipe, same worker, same
+    warm state.  ``unit`` is a region name, :data:`~repro.topo.hierarchy.
+    EXPRESS`, or :data:`MONOLITH` for a full-hierarchy worker.
+    """
+
+    unit: str
+    topology_seed: int
+    regions: int
+    pops_per_region: int
+    gateways_per_region: int = 2
+    grid_size: int = 80
+    k_paths: int = 4
+    route_cache_size: int = 1024
+    region_plane_km: float = 1200.0
+    express_length_km: float = 600.0
+    alpha: float = 0.4
+    beta: float = 0.35
+    with_premises: bool = False
+    premises_prefix: str = "DC-"
+    transponders_10g: int = 6
+    regens_10g: int = 4
+
+    @classmethod
+    def for_bench(cls, unit: str, params: Dict[str, Any]) -> "UnitRecipe":
+        """The recipe of one ``shard-plan`` sweep trial's unit.
+
+        Only topology-shaping parameters enter the key — workload knobs
+        (rounds, orders_per_round) vary per trial over the same worker.
+        """
+        return cls(
+            unit=unit,
+            topology_seed=int(params["topology_seed"]),
+            regions=int(params["regions"]),
+            pops_per_region=int(params["pops_per_region"]),
+            gateways_per_region=int(params.get("gateways_per_region", 2)),
+            grid_size=int(params.get("grid_size", 80)),
+            k_paths=int(params.get("k_paths", 4)),
+        )
+
+    @classmethod
+    def for_network_unit(
+        cls,
+        hierarchy: Hierarchy,
+        unit: str,
+        grid_size: int = 80,
+        k_paths: int = 4,
+    ) -> "UnitRecipe":
+        """The recipe mirroring one :class:`ShardedNetwork` unit."""
+        params = hierarchy.params
+        return cls(
+            unit=unit,
+            topology_seed=hierarchy.seed,
+            regions=int(params["regions"]),
+            pops_per_region=int(params["pops_per_region"]),
+            gateways_per_region=int(params["gateways_per_region"]),
+            grid_size=grid_size,
+            k_paths=k_paths,
+            region_plane_km=float(params["region_plane_km"]),
+            express_length_km=float(params["express_length_km"]),
+            alpha=float(params["alpha"]),
+            beta=float(params["beta"]),
+            with_premises=bool(params["with_premises"]),
+            premises_prefix=str(params["premises_prefix"]),
+        )
+
+    def build(self) -> ShardUnit:
+        """Rebuild the unit — the one-time cost a worker pays at spawn."""
+        if self.unit == EXPRESS:
+            return build_express_unit(
+                self.regions,
+                self.gateways_per_region,
+                self.pops_per_region,
+                express_length_km=self.express_length_km,
+                grid_size=self.grid_size,
+                transponders_10g=self.transponders_10g,
+                regens_10g=self.regens_10g,
+                k_paths=self.k_paths,
+                route_cache_size=self.route_cache_size,
+            )
+        if self.unit == MONOLITH:
+            from repro.core.inventory import InventoryDatabase
+            from repro.optical.wavelength import WavelengthGrid
+            from repro.topo.hierarchy import build_hierarchy
+
+            hierarchy = build_hierarchy(
+                self.topology_seed,
+                regions=self.regions,
+                pops_per_region=self.pops_per_region,
+                gateways_per_region=self.gateways_per_region,
+                region_plane_km=self.region_plane_km,
+                express_length_km=self.express_length_km,
+                alpha=self.alpha,
+                beta=self.beta,
+                with_premises=self.with_premises,
+                premises_prefix=self.premises_prefix,
+            )
+            inventory = InventoryDatabase(
+                hierarchy.graph, WavelengthGrid(self.grid_size)
+            )
+            _install_planning_equipment(
+                inventory, self.transponders_10g, self.regens_10g
+            )
+            return ShardUnit(
+                MONOLITH,
+                inventory,
+                k_paths=self.k_paths,
+                route_cache_size=self.route_cache_size,
+            )
+        return build_region_unit(
+            self.topology_seed,
+            self.unit,
+            self.pops_per_region,
+            region_plane_km=self.region_plane_km,
+            grid_size=self.grid_size,
+            transponders_10g=self.transponders_10g,
+            regens_10g=self.regens_10g,
+            k_paths=self.k_paths,
+            route_cache_size=self.route_cache_size,
+            alpha=self.alpha,
+            beta=self.beta,
+            with_premises=self.with_premises,
+            premises_prefix=self.premises_prefix,
+        )
+
+
+def recipe_for_trial(params: Dict[str, Any]) -> UnitRecipe:
+    """The worker recipe a ``shard-plan`` trial's params map onto."""
+    return UnitRecipe.for_bench(str(params["unit"]), params)
+
+
+# -- the worker process -------------------------------------------------------
+
+
+def _encode_error(exc: BaseException) -> Tuple[str, str]:
+    return type(exc).__name__, str(exc)
+
+
+def _rebuild_error(type_name: str, message: str) -> GriphonError:
+    """Rebuild a worker-reported error as its original library type."""
+    from repro import errors as errors_module
+
+    cls = getattr(errors_module, type_name, None)
+    if isinstance(cls, type) and issubclass(cls, GriphonError):
+        return cls(message)
+    return GriphonError(f"{type_name}: {message}")
+
+
+class _WorkerState:
+    """Everything one worker holds between RPCs."""
+
+    def __init__(self, unit: ShardUnit) -> None:
+        self.unit = unit
+        #: owner -> plan, in commit order; what ``reset`` unwinds.
+        self.committed: Dict[str, Any] = {}
+        self.plans_digest = hashlib.sha256()
+        #: Persistent planning round for ``plan_batch(round=True)``:
+        #: the shadow-claim overlay shared by every in-round plan RPC.
+        self.round = _PlanningRound()
+
+    # -- delta sync -----------------------------------------------------------
+
+    def _apply_sync(
+        self,
+        masks: Dict[Tuple[str, str], int],
+        cut: Iterable[Tuple[str, str]],
+        repair: Iterable[Tuple[str, str]],
+    ) -> None:
+        """Reconcile the plant with the parent's occupancy + failures.
+
+        Repairs first (occupancy can only change on live links), then
+        occupancy deltas under :data:`MIRROR_OWNER`, then cuts.
+        """
+        plant = self.unit.inventory.plant
+        for a, b in repair:
+            plant.repair_link(a, b)
+        for key, target in masks.items():
+            link = plant.dwdm_link(*key)
+            full = (1 << link.grid.size) - 1
+            current = full & ~link.free_mask()
+            stale = current & ~target
+            fresh = target & ~current
+            # The parent preserves occupancy across fiber cuts (for
+            # restoration), so a delta can touch an already-cut link;
+            # lift the failure flag around the edit without bumping the
+            # failure epoch (liveness isn't changing).
+            lifted = link.failed and bool(fresh)
+            if lifted:
+                link.repair()
+            while stale:
+                low = stale & -stale
+                link.release(low.bit_length() - 1, MIRROR_OWNER)
+                stale ^= low
+            while fresh:
+                low = fresh & -fresh
+                link.occupy(low.bit_length() - 1, MIRROR_OWNER)
+                fresh ^= low
+            if lifted:
+                link.fail()
+        for a, b in cut:
+            plant.cut_link(a, b)
+
+    def _reset(self) -> None:
+        """Back to pristine occupancy and liveness; route cache stays warm."""
+        plant = self.unit.inventory.plant
+        for owner in reversed(list(self.committed)):
+            self.unit.release_plan(self.committed[owner], owner)
+        self.committed.clear()
+        for key in list(plant.occupancy_snapshot()):
+            link = plant.dwdm_link(*key)
+            for channel in sorted(link.occupied_channels):
+                if link.owner_of(channel) == MIRROR_OWNER:
+                    link.release(channel, MIRROR_OWNER)
+        for a, b in plant.failed_links():
+            plant.repair_link(a, b)
+        self.plans_digest = hashlib.sha256()
+        self.round.reset()
+
+    # -- dispatch -------------------------------------------------------------
+
+    def dispatch(self, op: str, payload: Any) -> Any:
+        unit = self.unit
+        if op == "plan_batch":
+            round_ctx = self.round if payload.get("round") else None
+            return unit.plan_batch(payload["requests"], round_ctx=round_ctx)
+        if op == "round_begin":
+            self._apply_sync(
+                payload.get("masks") or {},
+                payload.get("cut") or (),
+                payload.get("repair") or (),
+            )
+            self.round.reset()
+            return None
+        if op == "commit":
+            plan, owner = payload["plan"], payload["owner"]
+            unit.occupy_plan(plan, owner)
+            self.committed[owner] = plan
+            self.plans_digest.update(
+                repr(
+                    (
+                        tuple(plan.path),
+                        tuple(s.channel for s in plan.segments),
+                        tuple(plan.regen_sites),
+                    )
+                ).encode("utf-8")
+            )
+            return None
+        if op == "release":
+            plan, owner = payload["plan"], payload["owner"]
+            unit.release_plan(plan, owner)
+            self.committed.pop(owner, None)
+            return None
+        if op == "cut":
+            return sorted(
+                unit.inventory.plant.cut_link(payload["a"], payload["b"])
+            )
+        if op == "repair":
+            unit.inventory.plant.repair_link(payload["a"], payload["b"])
+            return None
+        if op == "counters":
+            return unit.route_cache_stats()
+        if op == "fingerprint":
+            return {
+                "unit": unit.name,
+                "state": plant_fingerprint(unit.inventory.plant),
+                "plans": self.plans_digest.hexdigest(),
+                "committed": len(self.committed),
+            }
+        if op == "reset":
+            self._reset()
+            return None
+        if op == "trial":
+            from repro.shard.bench import run_plan_rounds
+
+            if payload.get("fresh", True):
+                self._reset()
+            params = payload["params"]
+            values = run_plan_rounds(
+                unit,
+                int(params["topology_seed"]),
+                int(params.get("rounds", 4)),
+                int(params.get("orders_per_round", 16)),
+                on_commit=self.committed.__setitem__,
+            )
+            return values
+        if op == "ping":
+            return "pong"
+        raise ConfigurationError(f"unknown shard-worker op {op!r}")
+
+
+def _worker_main(conn, recipe: UnitRecipe) -> None:
+    """The worker process: build once, serve RPCs until shutdown."""
+    try:
+        state = _WorkerState(recipe.build())
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(("fatal", _encode_error(exc)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", None))
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if op == "shutdown":
+            conn.send(("ok", None))
+            break
+        try:
+            result = state.dispatch(op, payload)
+        except Exception as exc:  # noqa: BLE001 - errors are replies
+            try:
+                conn.send(("error", _encode_error(exc)))
+            except Exception:  # noqa: BLE001 - parent went away
+                break
+        else:
+            conn.send(("ok", result))
+    conn.close()
+
+
+# -- the parent-side pool -----------------------------------------------------
+
+
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("recipe", "process", "conn", "journal", "pending")
+
+    def __init__(self, recipe, process, conn, journal) -> None:
+        self.recipe = recipe
+        self.process = process
+        self.conn = conn
+        #: Mutating ops acknowledged by the worker, in order — replayed
+        #: into a fresh process to rebuild identical state after a crash.
+        self.journal: List[Tuple[str, Any]] = journal
+        #: RPCs sent but not yet answered (per-worker FIFO pipeline).
+        self.pending: Deque[Tuple[str, Any]] = deque()
+
+
+class ShardWorkerPool:
+    """Long-lived plan-RPC workers, one per distinct :class:`UnitRecipe`.
+
+    The pool is the resident planning layer: a worker builds its unit
+    once and keeps route caches and occupancy bitmasks warm across
+    rounds, trials, and callers.  Use it as a context manager —
+    ``close()`` shuts every worker down gracefully and reaps the
+    processes (no zombies).
+
+    Args:
+        recipes: Recipes to spawn eagerly; more join via :meth:`ensure`.
+        recover: When True, a :class:`~repro.errors.WorkerCrashed` on
+            :meth:`call`/:meth:`run_trials` triggers automatic
+            rebuild-and-replay (:meth:`respawn`) and one retry instead
+            of propagating.
+        build_timeout_s / rpc_timeout_s: Watchdogs on worker startup and
+            on each reply.
+    """
+
+    def __init__(
+        self,
+        recipes: Iterable[UnitRecipe] = (),
+        recover: bool = False,
+        build_timeout_s: float = 600.0,
+        rpc_timeout_s: float = 600.0,
+    ) -> None:
+        self._workers: Dict[UnitRecipe, _Worker] = {}
+        self._recover = recover
+        self._build_timeout_s = build_timeout_s
+        self._rpc_timeout_s = rpc_timeout_s
+        self._closed = False
+        self._ctx = get_context()
+        for recipe in recipes:
+            self.ensure(recipe)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def size(self) -> int:
+        """Worker processes currently in the pool."""
+        return len(self._workers)
+
+    def recipes(self) -> List[UnitRecipe]:
+        """The recipes with a live worker, in spawn order."""
+        return list(self._workers)
+
+    def process_of(self, recipe: UnitRecipe):
+        """The :class:`multiprocessing.Process` serving ``recipe``."""
+        return self._workers[recipe].process
+
+    def ensure(self, recipe: UnitRecipe) -> None:
+        """Spawn a worker for ``recipe`` unless one is already live."""
+        if self._closed:
+            raise ConfigurationError("worker pool is closed")
+        if recipe not in self._workers:
+            self._workers[recipe] = self._spawn(recipe)
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Shut every worker down and reap the processes.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            if worker.process.is_alive():
+                try:
+                    worker.conn.send(("shutdown", None))
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in self._workers.values():
+            worker.process.join(timeout=timeout_s)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=timeout_s)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            worker.conn.close()
+
+    def respawn(self, recipe: UnitRecipe) -> None:
+        """Replace a (crashed) worker and replay its journal.
+
+        The journal holds every acknowledged mutating op in order, so
+        the fresh process deterministically reaches the exact state the
+        old one held — including ops that *failed* deterministically
+        (their replay fails identically and is swallowed).  In-flight
+        unacknowledged RPCs are not replayed; the caller re-issues them.
+        """
+        old = self._workers.pop(recipe)
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join()
+        old.conn.close()
+        fresh = self._spawn(recipe)
+        self._workers[recipe] = fresh
+        for op, payload in list(old.journal):
+            self._send(fresh, op, payload)
+            try:
+                self._receive(fresh)
+            except WorkerCrashed:
+                raise
+            except GriphonError:
+                pass
+
+    def _spawn(self, recipe: UnitRecipe) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, recipe),
+            name=f"shard-worker:{recipe.unit}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(recipe, process, parent_conn, journal=[])
+        if not parent_conn.poll(self._build_timeout_s):
+            process.terminate()
+            process.join()
+            raise WorkerCrashed(
+                f"shard worker {recipe.unit!r} did not come up within "
+                f"{self._build_timeout_s}s"
+            )
+        tag, info = parent_conn.recv()
+        if tag != "ready":
+            process.join()
+            raise WorkerCrashed(
+                f"shard worker {recipe.unit!r} failed to build: "
+                f"{info[0]}: {info[1]}"
+            )
+        return worker
+
+    # -- RPC plumbing ---------------------------------------------------------
+
+    def _require(self, recipe: UnitRecipe) -> _Worker:
+        self.ensure(recipe)
+        return self._workers[recipe]
+
+    def _send(self, worker: _Worker, op: str, payload: Any) -> None:
+        try:
+            worker.conn.send((op, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(
+                f"shard worker {worker.recipe.unit!r} died before "
+                f"{op!r} could be sent: {exc}"
+            ) from None
+        worker.pending.append((op, payload))
+
+    def _receive(self, worker: _Worker) -> Any:
+        if not worker.conn.poll(self._rpc_timeout_s):
+            op = worker.pending[0][0] if worker.pending else "?"
+            raise WorkerCrashed(
+                f"shard worker {worker.recipe.unit!r} sent no reply to "
+                f"{op!r} within {self._rpc_timeout_s}s"
+            )
+        try:
+            tag, result = worker.conn.recv()
+        except (EOFError, OSError):
+            op = worker.pending[0][0] if worker.pending else "?"
+            worker.pending.clear()
+            raise WorkerCrashed(
+                f"shard worker {worker.recipe.unit!r} died mid-RPC "
+                f"(awaiting reply to {op!r})"
+            ) from None
+        op, payload = worker.pending.popleft()
+        if _journaled(op, payload):
+            worker.journal.append((op, payload))
+        if tag == "error":
+            raise _rebuild_error(*result)
+        return result
+
+    # -- public RPC surface ---------------------------------------------------
+
+    def call(self, recipe: UnitRecipe, op: str, payload: Any = None) -> Any:
+        """One RPC to one worker; blocks for the reply.
+
+        Worker-reported errors are re-raised as their original library
+        types.  With ``recover=True`` a crashed worker is respawned,
+        its journal replayed, and the RPC retried once.
+        """
+        worker = self._require(recipe)
+        try:
+            self._send(worker, op, payload)
+            return self._receive(worker)
+        except WorkerCrashed:
+            if not self._recover or self._closed:
+                raise
+            self.respawn(recipe)
+            fresh = self._workers[recipe]
+            self._send(fresh, op, payload)
+            return self._receive(fresh)
+
+    def call_many(
+        self, calls: Sequence[Tuple[UnitRecipe, str, Any]]
+    ) -> List[Any]:
+        """Fan RPCs out to their workers, then collect replies in order.
+
+        All sends happen before any receive, so calls to *different*
+        workers execute concurrently; calls to the same worker pipeline
+        FIFO through its pipe.  No automatic crash recovery here — a
+        mid-fan-out respawn could not preserve cross-worker ordering,
+        so :class:`~repro.errors.WorkerCrashed` propagates.
+        """
+        workers = []
+        for recipe, op, payload in calls:
+            worker = self._require(recipe)
+            self._send(worker, op, payload)
+            workers.append(worker)
+        return [self._receive(worker) for worker in workers]
+
+    # -- sweep executor -------------------------------------------------------
+
+    def run_trials(self, trials, timeout_s: Optional[float] = None):
+        """Execute ``shard-plan`` trials on warm workers, results in order.
+
+        The executor contract :func:`repro.sweep.engine.run_sweep` uses
+        via its ``executor=`` parameter: trials are grouped by
+        :func:`recipe_for_trial`, each worker runs its queue one trial
+        at a time (every trial starts from a ``reset`` — pristine
+        occupancy, warm route cache), distinct workers run concurrently,
+        and results come back in trial-index order.  A trial raising a
+        library error becomes an error-carrying result, exactly like
+        :func:`~repro.sweep.engine.run_trial`; with ``recover=True`` a
+        crashed worker is rebuilt and its in-flight trial re-run.
+        """
+        from repro.sweep.engine import TrialResult
+
+        slots: List[Optional[TrialResult]] = [None] * len(trials)
+        queues: Dict[UnitRecipe, Deque] = {}
+        for slot, trial in enumerate(trials):
+            recipe = recipe_for_trial(trial.params)
+            self.ensure(recipe)
+            queues.setdefault(recipe, deque()).append((slot, trial))
+        current: Dict[UnitRecipe, Tuple[int, Any]] = {}
+
+        def dispatch(recipe: UnitRecipe) -> None:
+            if queues[recipe]:
+                slot, trial = queues[recipe].popleft()
+                self._send(
+                    self._workers[recipe],
+                    "trial",
+                    {"params": dict(trial.params), "fresh": True},
+                )
+                current[recipe] = (slot, trial)
+
+        def settle(trial, **kwargs) -> TrialResult:
+            return TrialResult(
+                trial_id=trial.trial_id,
+                index=trial.index,
+                seed=trial.seed,
+                params=dict(trial.params),
+                **kwargs,
+            )
+
+        for recipe in queues:
+            dispatch(recipe)
+        while current:
+            conns = {self._workers[r].conn: r for r in current}
+            ready = connection_wait(list(conns), timeout=timeout_s)
+            if not ready:
+                raise SweepTimeoutError(
+                    f"worker pool: no trial completed within {timeout_s}s "
+                    f"({len(current)} in flight)"
+                )
+            for conn in ready:
+                recipe = conns[conn]
+                slot, trial = current[recipe]
+                try:
+                    values = self._receive(self._workers[recipe])
+                except WorkerCrashed:
+                    if not self._recover:
+                        raise
+                    self.respawn(recipe)
+                    self._send(
+                        self._workers[recipe],
+                        "trial",
+                        {"params": dict(trial.params), "fresh": True},
+                    )
+                    continue
+                except GriphonError as exc:
+                    slots[slot] = settle(
+                        trial, error=f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    slots[slot] = settle(trial, values=values)
+                del current[recipe]
+                dispatch(recipe)
+        return slots

@@ -1,0 +1,142 @@
+"""The shard benchmark report: latency-stat consistency and acceptance.
+
+Regression tests for ``benchmarks/shard_report.py``.  The original
+latency computation appended one *averaged* sample per unit-round
+batch, so the mean and the percentiles summarized different
+populations — ``BENCH_shard.json`` shipped a 4-shard row whose mean
+(4.14 ms) sat below its own p50 (5.09 ms).  :func:`latency_stats` now
+takes one per-plan sample list and every statistic must respect the
+order invariants of a single population.  The acceptance block is
+exercised on synthetic rows: the recorded seed inversion must fail it,
+the pooled fix must pass it.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.shard_report import (  # noqa: E402
+    SEED_INVERSION,
+    acceptance,
+    latency_stats,
+    plan_latency_ms,
+    pooled_rows,
+)
+
+
+def _row(regions, single, pooled, deterministic=True):
+    return {
+        "regions": regions,
+        "pops_per_region": 512 // regions,
+        "units": regions + (1 if regions > 1 else 0),
+        "orders": 128,
+        "single_process_orders_per_sec": single,
+        "process_parallel_orders_per_sec": single * 0.7,
+        "pooled_orders_per_sec": pooled,
+        "pooled_cold_orders_per_sec": pooled * 0.5,
+        "pooled_spawn_s": 0.5,
+        "pooled_deterministic": deterministic,
+        "pooled_warm_cache_hit_rate": 0.9,
+    }
+
+
+class TestLatencyStats:
+    def test_single_population_invariants(self):
+        samples = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0]
+        stats = latency_stats(samples)
+        assert stats["plan_latency_p50_ms"] == 5.0
+        assert stats["plan_latency_p95_ms"] == 9.0
+        assert stats["plan_latency_mean_ms"] == 5.0
+        # The invariants the old mixed-population computation violated:
+        assert (
+            min(samples)
+            <= stats["plan_latency_mean_ms"]
+            <= max(samples)
+        )
+        assert stats["plan_latency_p50_ms"] <= stats["plan_latency_p95_ms"]
+
+    def test_skew_keeps_mean_inside_sample_range(self):
+        # Heavily bimodal — the shape (tiny express rounds vs slow
+        # region rounds) that used to drag the mean below the p50.
+        samples = [0.01] * 10 + [5.0] * 30
+        stats = latency_stats(samples)
+        assert 0.01 <= stats["plan_latency_mean_ms"] <= 5.0
+        assert stats["plan_latency_p50_ms"] <= stats["plan_latency_p95_ms"]
+
+    def test_measured_samples_are_per_plan(self):
+        rounds, orders_per_round, regions = 2, 4, 2
+        samples = plan_latency_ms(
+            topology_seed=7,
+            regions=regions,
+            pops_per_region=5,
+            rounds=rounds,
+            orders_per_round=orders_per_round,
+        )
+        # One sample per offered order across every unit (2 regions +
+        # express) — not one per unit-round batch.
+        units = regions + 1
+        assert len(samples) == units * rounds * orders_per_round
+        assert all(s >= 0.0 for s in samples)
+        stats = latency_stats(samples)
+        assert (
+            min(samples)
+            <= stats["plan_latency_mean_ms"]
+            <= max(samples)
+        )
+
+
+class TestAcceptance:
+    def _fixed_rows(self):
+        return [
+            _row(1, 500.0, 1500.0),
+            _row(4, 193.7, 400.0),
+            _row(16, 927.7, 2100.0),
+        ]
+
+    def test_pooled_fix_passes(self):
+        gate = acceptance(self._fixed_rows())
+        assert gate["ok"], gate
+        assert gate["checks"] == {
+            "pooled_beats_single_at_4_shards": True,
+            "pooled_beats_single_at_16_shards": True,
+            "pooled_2x_single_at_16_shards": True,
+            "pool_deterministic": True,
+        }
+        # The report carries the inversion it fixes as its baseline.
+        assert gate["baseline_inversion_fixed"] is SEED_INVERSION
+
+    def test_seed_inversion_fails(self):
+        inverted = [
+            _row(1, 500.0, 450.0),
+            _row(4, 193.7, 135.5),
+            _row(16, 927.7, 200.1),
+        ]
+        gate = acceptance(inverted)
+        assert not gate["ok"]
+        assert not gate["checks"]["pooled_beats_single_at_4_shards"]
+        assert not gate["checks"]["pooled_2x_single_at_16_shards"]
+
+    def test_sub_2x_at_16_shards_fails(self):
+        rows = self._fixed_rows()
+        rows[2]["pooled_orders_per_sec"] = 1200.0  # > single, < 2x
+        gate = acceptance(rows)
+        assert gate["checks"]["pooled_beats_single_at_16_shards"]
+        assert not gate["checks"]["pooled_2x_single_at_16_shards"]
+        assert not gate["ok"]
+
+    def test_nondeterminism_fails(self):
+        rows = self._fixed_rows()
+        rows[0]["pooled_deterministic"] = False
+        gate = acceptance(rows)
+        assert not gate["checks"]["pool_deterministic"]
+        assert not gate["ok"]
+
+    def test_pooled_rows_expose_warm_rate_vs_single(self):
+        rows = pooled_rows(self._fixed_rows())
+        assert [r["backend"] for r in rows] == ["pool"] * 3
+        four = rows[1]
+        assert four["process_parallel_orders_per_sec"] == 400.0
+        assert four["single_process_orders_per_sec"] == 193.7
+        assert four["cold_process_parallel_orders_per_sec"] == 200.0
+        assert four["deterministic"] is True

@@ -1,0 +1,262 @@
+"""The persistent shard worker pool: RPC parity, lifecycle, recovery.
+
+Every RPC a :class:`~repro.shard.workers.ShardWorkerPool` worker serves
+is checked against a local twin built from the same
+:class:`~repro.shard.workers.UnitRecipe` — same plans, same plant
+fingerprints after commit/release — because the worker IS just the unit
+rebuilt from its recipe behind a pipe.  Lifecycle tests pin the
+guarantees the resident layer depends on: context-manager close reaps
+every process (no zombies), a killed worker surfaces as the typed
+:class:`~repro.errors.WorkerCrashed`, and journal replay rebuilds a
+crashed worker into byte-identical state.  The sweep-executor tests pin
+the warm-worker determinism gate: pooled trials match per-trial
+rebuilds on the simulation-determined projection while the route cache
+reports the extra hits that are the whole point.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerCrashed
+from repro.shard.bench import (
+    bench_workload,
+    plan_projection,
+    shard_plan_spec,
+)
+from repro.shard.workers import (
+    ShardWorkerPool,
+    UnitRecipe,
+    plant_fingerprint,
+    recipe_for_trial,
+)
+from repro.sweep.engine import run_sweep
+
+RECIPE = UnitRecipe(
+    unit="R00", topology_seed=3, regions=2, pops_per_region=5
+)
+
+
+def _plan_shape(plan):
+    return (
+        tuple(plan.path),
+        tuple(s.channel for s in plan.segments),
+        tuple(plan.regen_sites),
+    )
+
+
+def _requests(unit, count=6):
+    (requests,) = bench_workload(unit, RECIPE.topology_seed, 1, count)
+    return requests
+
+
+class TestRecipe:
+    def test_recipe_is_the_pool_key(self):
+        params = {
+            "topology_seed": 3, "regions": 2, "pops_per_region": 5,
+            "unit": "R00", "rounds": 4, "orders_per_round": 16,
+        }
+        light = dict(params, rounds=1, orders_per_round=2)
+        # Workload knobs don't enter the key: both trials share a worker.
+        assert recipe_for_trial(params) == recipe_for_trial(light)
+        assert hash(recipe_for_trial(params)) == hash(recipe_for_trial(light))
+        assert recipe_for_trial(dict(params, topology_seed=4)) != (
+            recipe_for_trial(params)
+        )
+
+    def test_build_is_deterministic(self):
+        first, second = RECIPE.build(), RECIPE.build()
+        requests = _requests(first)
+        shapes = [
+            [_plan_shape(i.plan) for i in u.plan_batch(requests) if i.ok]
+            for u in (first, second)
+        ]
+        assert shapes[0] == shapes[1] and shapes[0]
+
+
+class TestWorkerRpcParity:
+    def test_plan_commit_release_match_local_twin(self):
+        local = RECIPE.build()
+        requests = _requests(local)
+        with ShardWorkerPool([RECIPE]) as pool:
+            remote = pool.call(
+                RECIPE, "plan_batch", {"requests": requests, "round": False}
+            )
+            items = local.plan_batch(requests)
+            assert [i.ok for i in remote] == [i.ok for i in items]
+            assert [
+                _plan_shape(i.plan) for i in remote if i.ok
+            ] == [_plan_shape(i.plan) for i in items if i.ok]
+            # Committing the same plans lands both plants on the same
+            # structural fingerprint...
+            for seq, item in enumerate(items):
+                if item.ok:
+                    local.occupy_plan(item.plan, f"t-{seq}")
+                    pool.call(
+                        RECIPE,
+                        "commit",
+                        {"plan": item.plan, "owner": f"t-{seq}"},
+                    )
+            fp = pool.call(RECIPE, "fingerprint")
+            assert fp["state"] == plant_fingerprint(local.inventory.plant)
+            assert fp["committed"] == sum(1 for i in items if i.ok)
+            # ...and releasing one keeps them in lockstep.
+            seq = next(i for i, item in enumerate(items) if item.ok)
+            local.release_plan(items[seq].plan, f"t-{seq}")
+            pool.call(
+                RECIPE,
+                "release",
+                {"plan": items[seq].plan, "owner": f"t-{seq}"},
+            )
+            assert pool.call(RECIPE, "fingerprint")["state"] == (
+                plant_fingerprint(local.inventory.plant)
+            )
+
+    def test_cut_and_repair_track_local_twin(self):
+        local = RECIPE.build()
+        with ShardWorkerPool([RECIPE]) as pool:
+            item = next(
+                i for i in local.plan_batch(_requests(local)) if i.ok
+            )
+            a, b = item.plan.path[0], item.plan.path[1]
+            displaced = pool.call(RECIPE, "cut", {"a": a, "b": b})
+            assert displaced == sorted(
+                local.inventory.plant.cut_link(a, b)
+            )
+            assert pool.call(RECIPE, "fingerprint")["state"] == (
+                plant_fingerprint(local.inventory.plant)
+            )
+            pool.call(RECIPE, "repair", {"a": a, "b": b})
+            local.inventory.plant.repair_link(a, b)
+            assert pool.call(RECIPE, "fingerprint")["state"] == (
+                plant_fingerprint(local.inventory.plant)
+            )
+
+    def test_counters_and_reset(self):
+        with ShardWorkerPool([RECIPE]) as pool:
+            local = RECIPE.build()
+            requests = _requests(local)
+            pool.call(
+                RECIPE, "plan_batch", {"requests": requests, "round": False}
+            )
+            counters = pool.call(RECIPE, "counters")
+            assert counters["misses"] > 0
+            pool.call(RECIPE, "reset")
+            # Reset restores pristine occupancy but keeps the cache warm.
+            assert pool.call(RECIPE, "fingerprint")["state"] == (
+                plant_fingerprint(RECIPE.build().inventory.plant)
+            )
+            pool.call(
+                RECIPE, "plan_batch", {"requests": requests, "round": False}
+            )
+            assert pool.call(RECIPE, "counters")["hits"] > counters["hits"]
+
+    def test_unknown_op_is_typed_and_survivable(self):
+        with ShardWorkerPool([RECIPE]) as pool:
+            with pytest.raises(ConfigurationError, match="unknown"):
+                pool.call(RECIPE, "frobnicate")
+            # The error was a reply, not a crash: the worker still serves.
+            assert pool.call(RECIPE, "ping") == "pong"
+
+
+class TestLifecycle:
+    def test_context_manager_leaves_no_zombies(self):
+        with ShardWorkerPool([RECIPE]) as pool:
+            process = pool.process_of(RECIPE)
+            assert process.is_alive()
+            assert pool.call(RECIPE, "ping") == "pong"
+        assert not process.is_alive()
+        assert process.exitcode == 0
+        pool.close()  # idempotent
+
+    def test_ensure_dedupes_by_recipe(self):
+        with ShardWorkerPool() as pool:
+            pool.ensure(RECIPE)
+            process = pool.process_of(RECIPE)
+            pool.ensure(RECIPE)
+            assert pool.size == 1
+            assert pool.process_of(RECIPE) is process
+
+    def test_closed_pool_rejects_work(self):
+        pool = ShardWorkerPool([RECIPE])
+        pool.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.call(RECIPE, "ping")
+
+
+class TestCrashRecovery:
+    def _mutate(self, pool, local):
+        """The same mutating history on a pool worker and its local twin."""
+        items = local.plan_batch(_requests(local))
+        for seq, item in enumerate(items):
+            if item.ok:
+                local.occupy_plan(item.plan, f"t-{seq}")
+                pool.call(
+                    RECIPE, "commit", {"plan": item.plan, "owner": f"t-{seq}"}
+                )
+        item = next(i for i in items if i.ok)
+        a, b = item.plan.path[0], item.plan.path[1]
+        pool.call(RECIPE, "cut", {"a": a, "b": b})
+        local.inventory.plant.cut_link(a, b)
+
+    def test_crash_raises_typed_error(self):
+        with ShardWorkerPool([RECIPE]) as pool:
+            pool.process_of(RECIPE).kill()
+            with pytest.raises(WorkerCrashed):
+                pool.call(RECIPE, "ping")
+
+    def test_rebuild_and_replay_restores_exact_state(self):
+        with ShardWorkerPool([RECIPE]) as pool, ShardWorkerPool(
+            [RECIPE]
+        ) as control:
+            self._mutate(pool, RECIPE.build())
+            self._mutate(control, RECIPE.build())
+            pool.process_of(RECIPE).kill()
+            pool.process_of(RECIPE).join()
+            pool.respawn(RECIPE)
+            # The replayed worker matches the never-crashed control on
+            # plant state AND committed-plan digest...
+            assert pool.call(RECIPE, "fingerprint") == control.call(
+                RECIPE, "fingerprint"
+            )
+            # ...and plans the next batch identically.
+            requests = _requests(RECIPE.build())
+            payload = {"requests": requests, "round": False}
+            replayed = pool.call(RECIPE, "plan_batch", payload)
+            expected = control.call(RECIPE, "plan_batch", payload)
+            assert [i.ok for i in replayed] == [i.ok for i in expected]
+            assert [
+                _plan_shape(i.plan) for i in replayed if i.ok
+            ] == [_plan_shape(i.plan) for i in expected if i.ok]
+
+    def test_auto_recover_is_transparent(self):
+        with ShardWorkerPool([RECIPE], recover=True) as pool:
+            local = RECIPE.build()
+            self._mutate(pool, local)
+            pool.process_of(RECIPE).kill()
+            # recover=True: the call respawns, replays, and answers.
+            fp = pool.call(RECIPE, "fingerprint")
+            assert fp["state"] == plant_fingerprint(local.inventory.plant)
+
+
+class TestSweepExecutor:
+    def test_pooled_sweep_matches_rebuild_and_warms_cache(self):
+        spec = shard_plan_spec(
+            topology_seed=11,
+            regions=2,
+            pops_per_region=6,
+            rounds=2,
+            orders_per_round=8,
+        )
+        single = run_sweep(spec, jobs=1)
+        recipes = {recipe_for_trial(t.params) for t in spec.trials()}
+        with ShardWorkerPool(recipes) as pool:
+            cold = run_sweep(spec, executor=pool)
+            warm = run_sweep(spec, executor=pool)
+        reference = plan_projection(single)
+        assert plan_projection(cold) == reference
+        assert plan_projection(warm) == reference
+        hits = lambda result: sum(  # noqa: E731
+            t.values["route_cache_hits"] for t in result.results
+        )
+        # The warm pass is the point: route caches survive across trials.
+        assert hits(warm) > hits(cold)
+        assert warm.jobs == len(recipes)

@@ -8,10 +8,10 @@ states from ``repro.pipeline``, and the typed refusals
 ``repro.core.service``.  ``repro.api`` consolidates the surface:
 
 * the **terminal outcomes** — :data:`OrderOutcome` — are a closed union
-  of seven types (:class:`Active`, :class:`Blocked`, :class:`QueueFull`,
+  of eight types (:class:`Active`, :class:`Blocked`, :class:`QueueFull`,
   :class:`Deferred`, :class:`SetupFailed`, :class:`ServiceDegraded`,
-  :class:`Rejected`); match on :data:`TERMINAL_OUTCOMES` and the set is
-  complete;
+  :class:`SlaBreached`, :class:`Rejected`); match on
+  :data:`TERMINAL_OUTCOMES` and the set is complete;
 * :class:`Accepted` is the one non-terminal status (resources claimed,
   setup in flight); :data:`OrderStatus` is ``Accepted | OrderOutcome``;
 * :class:`OrderIntake` is the protocol every order backend implements
@@ -244,6 +244,38 @@ class ServiceDegraded:
         )
 
 
+@dataclass(frozen=True)
+class SlaBreached:
+    """Typed outcome for a connection gray-degraded past its SLA.
+
+    The SLO engine detected sustained OSNR-margin erosion (or another
+    policy breach), could not remediate — no alternate path under the
+    utilization gate, no maintenance window to defer into — and
+    escalated the connection to DEGRADED.  Traffic still flows, but
+    below the committed signal quality; the engine keeps monitoring and
+    reverts the escalation automatically when the SLA recovers.
+
+    Attributes:
+        connection_id: The breached connection.
+        policy: Name of the :class:`~repro.slo.SloPolicy` that fired.
+        margin_db: The connection's OSNR margin at escalation time.
+        cause: The degradation cause (e.g. ``"osnr-drift:NYC=CHI"``).
+        trace_id: For correlating with the tracer's spans.
+    """
+
+    connection_id: str
+    policy: str
+    margin_db: float
+    cause: str = ""
+    trace_id: Optional[str] = None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.connection_id}: SLA breached "
+            f"({self.policy}, margin {self.margin_db:.1f} dB) - {self.cause}"
+        )
+
+
 #: Edge-refusal codes carried by :class:`Rejected`.
 REJECT_SHED = "shed"
 REJECT_RATE_LIMIT = "rate-limit"
@@ -276,7 +308,7 @@ class Rejected:
         return f"{self.request_id}: rejected ({self.code}) - {self.reason}"
 
 
-#: The closed set of terminal order outcomes.  Matching on these seven
+#: The closed set of terminal order outcomes.  Matching on these eight
 #: types is exhaustive for every backend (serial, pipeline, sharded)
 #: and for the async frontend's edge refusals.
 OrderOutcome = Union[
@@ -286,6 +318,7 @@ OrderOutcome = Union[
     Deferred,
     SetupFailed,
     ServiceDegraded,
+    SlaBreached,
     Rejected,
 ]
 
@@ -297,6 +330,7 @@ TERMINAL_OUTCOMES: Tuple[type, ...] = (
     Deferred,
     SetupFailed,
     ServiceDegraded,
+    SlaBreached,
     Rejected,
 )
 
@@ -317,6 +351,8 @@ def classify_record(
     * BLOCKED with a recorded ``setup_error`` → :class:`SetupFailed`
       (the compensating saga rolled the whole order back);
     * BLOCKED otherwise → :class:`Blocked`;
+    * DEGRADED with a ``degradation_cause`` → :class:`SlaBreached`
+      (the SLO engine escalated a gray failure it could not remediate);
     * DEGRADED with a ``setup_error`` → :class:`ServiceDegraded`;
     * anything else → :class:`Accepted` (in flight or post-lifecycle).
     """
@@ -333,6 +369,17 @@ def classify_record(
                 trace_id=getattr(record, "trace_id", None),
             )
         return Blocked(record)
+    if state is ConnectionState.DEGRADED and getattr(
+        record, "degradation_cause", ""
+    ):
+        margin = getattr(record, "degradation_margin_db", None)
+        return SlaBreached(
+            connection_id=_record_id(record),
+            policy=getattr(record, "degradation_policy", ""),
+            margin_db=margin if margin is not None else 0.0,
+            cause=record.degradation_cause,
+            trace_id=getattr(record, "trace_id", None),
+        )
     if state is ConnectionState.DEGRADED and setup_error is not None:
         return ServiceDegraded(
             connection_id=_record_id(record),
@@ -419,6 +466,7 @@ __all__ = [
     "Deferred",
     "SetupFailed",
     "ServiceDegraded",
+    "SlaBreached",
     "Rejected",
     "REJECT_SHED",
     "REJECT_RATE_LIMIT",

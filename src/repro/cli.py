@@ -194,6 +194,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         frontend_load_spec,
         pipeline_load_spec,
         run_sweep,
+        slo_chaos_spec,
         x10_scaling_spec,
         x9_availability_spec,
     )
@@ -208,6 +209,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec = frontend_load_spec(repeats=args.repeats)
     elif args.study == "shard":
         spec = shard_plan_spec(topology_seed=args.seed)
+    elif args.study == "slo":
+        spec = slo_chaos_spec(repeats=args.repeats)
     else:
         spec_data = json.loads(Path(args.study).read_text())
         spec = SweepSpec.from_dict(spec_data)
@@ -315,6 +318,56 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote chaos report to {args.json}")
     return 0 if mid_report.ok and final_report.ok else 2
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Replay a gray-failure plan with the SLA remediation engine armed."""
+    from repro.faults import DegradationPlan
+    from repro.slo import SloPolicy, default_policies
+    from repro.slo.bench import run_slo_trial
+
+    plan = None
+    if args.plan:
+        plan = DegradationPlan.from_dict(
+            json.loads(Path(args.plan).read_text())
+        )
+    if args.policy:
+        policies = tuple(
+            SloPolicy.from_dict(entry)
+            for entry in json.loads(Path(args.policy).read_text())
+        )
+    elif args.policy_off:
+        policies = ()
+    else:
+        policies = default_policies()
+    if args.policy_off and args.policy:
+        print("--policy-off and --policy are mutually exclusive")
+        return 1
+    # The trial runner owns the workload; reuse it so the CLI, the
+    # benchmark, and the chaos CI job all exercise the same loop.
+    result = run_slo_trial(
+        seed=args.seed,
+        policy_on=bool(policies),
+        plan=plan,
+        horizon_s=args.horizon,
+        audit_each_action=True,
+    )
+    mode = "armed" if policies else "policy-off"
+    print(
+        f"slo ({mode}): {result['connections']} connection(s), "
+        f"{result['violation_minutes']:.1f} SLA-violation minutes"
+    )
+    for key in (
+        "breaches", "recoveries", "rerouted", "reverted",
+        "escalated", "deferred", "restored",
+    ):
+        print(f"  slo.{key} = {result[key]:g}")
+    print(f"  max reroute utilization = {result['max_reroute_utilization']:.1%}")
+    print(f"  audit: {'CLEAN' if result['audit_ok'] else 'VIOLATIONS'}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote slo report to {args.json}")
+    return 0 if result["audit_ok"] else 2
 
 
 def cmd_pipeline(args: argparse.Namespace) -> int:
@@ -587,8 +640,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "study",
-        help="built-in study (x9, x10, pipeline, frontend, shard) or path "
-        "to a JSON sweep spec",
+        help="built-in study (x9, x10, pipeline, frontend, shard, slo) or "
+        "path to a JSON sweep spec",
     )
     sweep.add_argument(
         "--jobs", type=int, default=1,
@@ -639,6 +692,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="write the chaos report to this file"
     )
     chaos.set_defaults(func=cmd_chaos)
+    slo = sub.add_parser(
+        "slo",
+        help="replay gray failures with SLA-aware autonomous remediation",
+    )
+    slo.add_argument(
+        "--plan",
+        default=None,
+        help="JSON file with a DegradationPlan (default: stock scenario)",
+    )
+    slo.add_argument(
+        "--policy",
+        default=None,
+        help="JSON file with a list of SloPolicy dicts (default: stock set)",
+    )
+    slo.add_argument(
+        "--policy-off",
+        action="store_true",
+        help="arm no policies: measure violation minutes, remediate nothing",
+    )
+    slo.add_argument(
+        "--horizon", type=float, default=7200.0,
+        help="degradation replay horizon in sim seconds (default 7200)",
+    )
+    slo.add_argument(
+        "--json", default=None, help="write the slo report to this file"
+    )
+    slo.set_defaults(func=cmd_slo)
     pipe = sub.add_parser(
         "pipeline",
         help="submit a burst of concurrent orders through the intake queue",

@@ -125,6 +125,15 @@ class Connection:
     #: The EquipmentError that aborted (part of) setup; None on the
     #: happy path.  Set alongside DEGRADED / setup-failed BLOCKED.
     setup_error: Optional[Exception] = None
+    #: Why the connection is gray-degraded (e.g. ``"osnr-drift:NYC=CHI"``).
+    #: Set by the SLO engine when it escalates an SLA breach it could not
+    #: remediate; cleared when the SLA recovers.  Empty for hard faults.
+    degradation_cause: str = ""
+    #: OSNR margin (dB) recorded at escalation time, alongside
+    #: :attr:`degradation_cause`.
+    degradation_margin_db: Optional[float] = None
+    #: Name of the SLO policy whose breach caused the escalation.
+    degradation_policy: str = ""
 
     @property
     def setup_duration(self) -> Optional[float]:

@@ -46,6 +46,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Span, Tracer
 from repro.optical.impairments import ReachModel
 from repro.optical.lightpath import Lightpath, LightpathState
+from repro.optical.osnr import OsnrModel
 from repro.otn.circuit import OduCircuitState
 from repro.otn.mesh_restoration import SharedMeshProtection
 from repro.sim.kernel import Simulator
@@ -102,6 +103,7 @@ class GriphonController:
         metrics: Optional[MetricsRegistry] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        osnr_model: Optional[OsnrModel] = None,
     ) -> None:
         self.sim = sim
         self.inventory = inventory
@@ -115,6 +117,12 @@ class GriphonController:
         self.roadm_ems = RoadmEms(
             inventory.roadms, inventory.plant, self.latency, metrics=self.metrics
         )
+        #: The link-budget model behind per-connection OSNR margins.
+        self.osnr_model = osnr_model if osnr_model is not None else OsnrModel()
+        # Record every amplifier chain's provisioned gain in inventory so
+        # the invariant auditor can cross-check live settings against it.
+        for key, chain in self.roadm_ems.amplifier_chains().items():
+            inventory.record_amplifier_gain(key, chain.target_gain_db)
         self.fxc_ctl = FxcController(
             inventory.fxcs, self.latency, metrics=self.metrics
         )
@@ -260,6 +268,48 @@ class GriphonController:
             for ot in pool.transponders:
                 rates.add(ot.line_rate_bps)
         return sorted(rates)
+
+    # -- signal quality ---------------------------------------------------------
+
+    def osnr_margin_db(self, lightpath: Lightpath) -> float:
+        """The lightpath's worst per-segment OSNR margin, in dB.
+
+        Each regen resets the optical signal, so margin is evaluated per
+        regen-free segment — distance from the link budget plus any
+        gray-failure penalties active on the segment's links — and the
+        lightpath's margin is the minimum across segments.
+        """
+        graph = self.inventory.graph
+        plant = self.inventory.plant
+        margins = []
+        for segment in lightpath.segments:
+            km = sum(
+                graph.link_between(u, v).length_km
+                for u, v in zip(segment.nodes, segment.nodes[1:])
+            )
+            penalty = plant.path_penalty_db(segment.nodes)
+            margins.append(
+                self.osnr_model.margin_db(km, lightpath.rate_bps, penalty)
+            )
+        return min(margins)
+
+    def connection_osnr_margin_db(
+        self, connection_id: str
+    ) -> Optional[float]:
+        """The connection's OSNR margin: min across its lightpaths.
+
+        Returns None for connections with no live lightpath (packet
+        services, or records that never reached setup).
+        """
+        connection = self.connections.get(connection_id)
+        if connection is None:
+            return None
+        margins = []
+        for lightpath_id in connection.lightpath_ids:
+            lightpath = self.inventory.lightpaths.get(lightpath_id)
+            if lightpath is not None and lightpath.segments:
+                margins.append(self.osnr_margin_db(lightpath))
+        return min(margins) if margins else None
 
     # -- orders ----------------------------------------------------------------
 

@@ -119,12 +119,21 @@ def render_network_view(controller) -> str:
     plant = controller.inventory.plant
     for link in controller.inventory.graph.links:
         dwdm = plant.dwdm_link(link.a, link.b)
+        if dwdm.failed:
+            state = "FAILED"
+        elif dwdm.osnr_penalty_db > 0.0:
+            # Gray failure: carrying traffic, but eroded.  Rendered
+            # distinctly from a hard failure so operators can tell a
+            # degraded span from a cut one at a glance.
+            state = f"DEGRADED -{dwdm.osnr_penalty_db:.1f}dB"
+        else:
+            state = "up"
         rows.append(
             [
                 f"{link.key[0]}={link.key[1]}",
                 f"{link.length_km:g}",
                 f"{len(dwdm.occupied_channels)}/{dwdm.grid.size}",
-                "FAILED" if dwdm.failed else "up",
+                state,
             ]
         )
     lines = [_table(rows, title="Fiber plant")]

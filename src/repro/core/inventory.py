@@ -50,6 +50,10 @@ class InventoryDatabase:
         # Live resource records.
         self.lightpaths: Dict[str, Lightpath] = {}
         self.circuits: Dict[str, OduCircuit] = {}
+        # Provisioned amplifier gain per link key (dB).  The controller
+        # records each chain's target at build time; the invariant
+        # auditor cross-checks the live EMS setting against this.
+        self.amplifier_gains: Dict[tuple, float] = {}
         self._lightpath_seq = itertools.count()
         self._circuit_seq = itertools.count()
         self._otn_line_seq = itertools.count()
@@ -182,6 +186,14 @@ class InventoryDatabase:
         if circuit_id not in self.circuits:
             raise ResourceError(f"unknown circuit {circuit_id!r}")
         del self.circuits[circuit_id]
+
+    def record_amplifier_gain(self, key: tuple, gain_db: float) -> None:
+        """Record the provisioned amplifier gain for a link."""
+        self.amplifier_gains[key] = gain_db
+
+    def recorded_amplifier_gain(self, key: tuple) -> Optional[float]:
+        """The provisioned gain for a link, or None if never recorded."""
+        return self.amplifier_gains.get(key)
 
     # -- queries ----------------------------------------------------------------
 

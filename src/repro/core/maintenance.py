@@ -12,7 +12,7 @@ a full restoration — or the whole window, if restoration is off.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.controller import GriphonController
 from repro.errors import ConfigurationError, GriphonError
@@ -99,6 +99,40 @@ class MaintenanceScheduler:
             label=f"maintenance-close:{a}={b}",
         )
         return record
+
+    def window_covering(
+        self,
+        a: str,
+        b: str,
+        now: float,
+        horizon_s: Optional[float] = None,
+    ) -> Optional[MaintenanceRecord]:
+        """A pending window on link ``a``-``b``, if the calendar has one.
+
+        The SLO engine's defer step calls this: a degraded link with a
+        technician already scheduled does not need a reroute — the
+        maintenance migration will move the traffic anyway.
+
+        Args:
+            now: Current sim time.
+            horizon_s: When given, only windows opening within this many
+                seconds qualify (open windows always do).
+
+        Returns:
+            The earliest matching record, or None.
+        """
+        key = (a, b) if a <= b else (b, a)
+        best: Optional[MaintenanceRecord] = None
+        for record in self.records:
+            if record.completed or record.link != key:
+                continue
+            if record.ended_at <= now:
+                continue
+            if horizon_s is not None and record.started_at > now + horizon_s:
+                continue
+            if best is None or record.started_at < best.started_at:
+                best = record
+        return best
 
     # -- internals ------------------------------------------------------------
 

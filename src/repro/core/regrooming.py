@@ -105,6 +105,10 @@ class RegroomingEngine:
                 )
             except GriphonError:
                 continue  # no disjoint alternative exists
+            if controller.inventory.plant.path_penalty_db(plan.path) > 0.0:
+                # Never regroom *onto* a gray-degraded route; the SLO
+                # engine would immediately have to move it again.
+                continue
             best_km = graph.path_length_km(plan.path)
             candidate = RegroomCandidate(
                 connection.connection_id, current_km, best_km

@@ -64,6 +64,11 @@ class FaultReport:
         trace_id: The connection's trace id, for correlating this report
             with the tracer's spans (None when tracing is off).
         blocked_reason: Why the order was blocked, for BLOCKED records.
+        degradation_cause: The gray-failure cause when the SLO engine
+            escalated this connection (e.g. ``"osnr-drift:NYC=CHI"``);
+            empty for hard faults, which renders the classic outage line.
+        osnr_margin_db: The connection's current OSNR margin (None for
+            records with no live lightpath).
     """
 
     connection_id: str
@@ -74,6 +79,8 @@ class FaultReport:
     blocked_reason: str = ""
     failed_element: str = ""
     failed_command: str = ""
+    degradation_cause: str = ""
+    osnr_margin_db: Optional[float] = None
 
     def __str__(self) -> str:
         if self.state is ConnectionState.UP:
@@ -88,6 +95,16 @@ class FaultReport:
             return (
                 f"{self.connection_id}: outage localized to [{where}]; "
                 f"{self.action}"
+            )
+        if self.state is ConnectionState.DEGRADED and self.degradation_cause:
+            margin = (
+                f"{self.osnr_margin_db:.1f} dB margin"
+                if self.osnr_margin_db is not None
+                else "margin unknown"
+            )
+            return (
+                f"{self.connection_id}: GRAY DEGRADED - "
+                f"{self.degradation_cause} ({margin})"
             )
         if self.state is ConnectionState.DEGRADED and self.failed_element:
             return (
@@ -324,6 +341,10 @@ class BodService:
             blocked_reason=connection.blocked_reason,
             failed_element=getattr(connection.setup_error, "element", "") or "",
             failed_command=getattr(connection.setup_error, "command", "") or "",
+            degradation_cause=connection.degradation_cause,
+            osnr_margin_db=self._controller.connection_osnr_margin_db(
+                connection.connection_id
+            ),
         )
 
     def setup_outcome(

@@ -41,6 +41,37 @@ class RoadmEms:
         if self._metrics is not None:
             self._metrics.inc(f"ems.roadm.{op}")
 
+    def amplifier_chains(self) -> Dict[tuple, AmplifierChain]:
+        """Live amplifier-chain state per link key.
+
+        Exposed so the invariant auditor can cross-check gain settings
+        against inventory records and the SLO injector can flap them.
+        """
+        return dict(self._chains)
+
+    def chain(self, a: str, b: str) -> AmplifierChain:
+        """The amplifier chain on the link joining ``a`` and ``b``.
+
+        Links added after construction get a chain lazily, matching
+        :meth:`FiberPlant.dwdm_link`.
+
+        Raises:
+            EquipmentError: if no such link exists.
+        """
+        try:
+            dwdm = self._plant.dwdm_link(a, b)
+        except Exception as exc:
+            raise EquipmentError(
+                f"EMS manages no line between {a!r} and {b!r}",
+                site=a,
+                element=f"line@{a}={b}",
+                command="lookup",
+            ) from exc
+        key = dwdm.link.key
+        if key not in self._chains:
+            self._chains[key] = AmplifierChain(dwdm.link.length_km)
+        return self._chains[key]
+
     def roadm(self, name: str) -> Roadm:
         """Look up a managed ROADM.
 

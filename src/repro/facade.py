@@ -20,12 +20,13 @@ from repro.core.maintenance import MaintenanceScheduler
 from repro.core.service import BodService
 from repro.ems.latency import LatencyModel
 from repro.errors import ConfigurationError
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import DegradationPlan, FaultPlan
 from repro.faults.resilient import RetryPolicy
 from repro.iplayer.network import IpLayer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.pipeline import OrderPipeline
+from repro.optical.osnr import OsnrModel
 from repro.optical.wavelength import WavelengthGrid
 from repro.sim.kernel import Simulator
 from repro.sim.randomness import RandomStreams
@@ -33,6 +34,23 @@ from repro.topo.backbone import BACKBONE_DATA_CENTERS, build_backbone_graph
 from repro.topo.graph import NetworkGraph
 from repro.topo.testbed import TESTBED_PREMISES, TESTBED_ROADMS, build_testbed_graph
 from repro.units import GBPS
+
+
+class SloRuntime:
+    """The attached SLO stack: injector, monitor, remediation engine."""
+
+    __slots__ = ("injector", "monitor", "engine")
+
+    def __init__(self, injector, monitor, engine) -> None:
+        self.injector = injector
+        self.monitor = monitor
+        self.engine = engine
+
+    def __repr__(self) -> str:
+        return (
+            f"SloRuntime(policies={len(self.monitor.policies)}, "
+            f"plan={len(self.injector.plan)} specs)"
+        )
 
 
 class GriphonNetwork:
@@ -50,6 +68,7 @@ class GriphonNetwork:
         tracing: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        osnr_model: Optional[OsnrModel] = None,
     ) -> None:
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
@@ -67,11 +86,13 @@ class GriphonNetwork:
             auto_restore=auto_restore,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
+            osnr_model=osnr_model,
         )
         self.controller: Optional[GriphonController] = None
         self.maintenance: Optional[MaintenanceScheduler] = None
         self.pipeline: Optional[OrderPipeline] = None
         self.frontend = None
+        self.slo = None
         self._services: Dict[str, BodService] = {}
 
     def finish_build(self) -> "GriphonNetwork":
@@ -128,6 +149,7 @@ class GriphonNetwork:
         bucket_rate: float = 1.0,
         bucket_burst: float = 8.0,
         pump_interval: float = 0.05,
+        premium_tenants: Iterable[str] = (),
         **pipeline_kwargs,
     ):
         """Attach the async service frontend over the order pipeline.
@@ -166,8 +188,90 @@ class GriphonNetwork:
             bucket_rate=bucket_rate,
             bucket_burst=bucket_burst,
             pump_interval=pump_interval,
+            premium_tenants=premium_tenants,
         )
         return self.frontend
+
+    def enable_slo(
+        self,
+        plan: Optional[DegradationPlan] = None,
+        policies: Iterable = (),
+        sample_interval_s: float = 15.0,
+        tick_s: float = 30.0,
+        horizon_s: Optional[float] = None,
+        violation_threshold_db: float = 0.0,
+        audit_each_action: bool = False,
+        defer_horizon_s: float = 4 * 3600.0,
+        utilization_gate: float = 0.80,
+    ):
+        """Attach gray-failure injection and SLA-aware remediation.
+
+        Wires a :class:`~repro.slo.inject.DegradationInjector` for
+        ``plan``, a :class:`~repro.slo.monitor.SlaMonitor` over
+        ``policies``, and a :class:`~repro.slo.engine.RemediationEngine`
+        driving the detect → remediate → restore runbook.  Returns the
+        :class:`SloRuntime` holder, also available as ``net.slo``.
+
+        An empty plan with no policies schedules **nothing** and returns
+        ``None`` — the event stream stays byte-identical to a network
+        without the subsystem.
+
+        Args:
+            plan: Seeded degradation plan to replay (default empty).
+            policies: Declarative :class:`~repro.slo.monitor.SloPolicy`
+                objects; see :func:`~repro.slo.monitor.default_policies`.
+            sample_interval_s: Monitor sampling cadence, sim seconds.
+            tick_s: Injector tick, sim seconds.
+            horizon_s: When the monitor stops; defaults to the plan
+                horizon plus a 900 s settle tail.
+            violation_threshold_db: Margin below which SLA-violation
+                minutes accrue.
+            audit_each_action: Run the invariant auditor after every
+                engine action (the chaos-test oracle).
+            defer_horizon_s: Look-ahead for maintenance-window deferral.
+            utilization_gate: Reroute only onto paths whose post-claim
+                per-link utilization stays below this fraction.
+
+        Raises:
+            ConfigurationError: before :meth:`finish_build`.
+        """
+        from repro.slo import (
+            DegradationInjector,
+            RemediationEngine,
+            SlaMonitor,
+        )
+
+        if self.controller is None:
+            raise ConfigurationError(
+                "finish_build() must run before enable_slo()"
+            )
+        plan = plan if plan is not None else DegradationPlan()
+        policies = tuple(policies)
+        if plan.empty and not policies:
+            return None
+        stop_at = (
+            horizon_s if horizon_s is not None else plan.horizon_s + 900.0
+        )
+        injector = DegradationInjector(self.controller, plan, tick_s=tick_s)
+        monitor = SlaMonitor(
+            self.controller,
+            policies=policies,
+            sample_interval_s=sample_interval_s,
+            stop_at=stop_at,
+            violation_threshold_db=violation_threshold_db,
+        )
+        engine = RemediationEngine(
+            self.controller,
+            monitor,
+            maintenance=self.maintenance,
+            utilization_gate=utilization_gate,
+            defer_horizon_s=defer_horizon_s,
+            audit_each_action=audit_each_action,
+        )
+        injector.start()
+        monitor.start()
+        self.slo = SloRuntime(injector, monitor, engine)
+        return self.slo
 
     def service_for(
         self,
@@ -225,6 +329,7 @@ def build_griphon_testbed(
     grid_size: int = 80,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    osnr_model: Optional[OsnrModel] = None,
 ) -> GriphonNetwork:
     """Build the paper's Fig. 4 laboratory testbed.
 
@@ -245,6 +350,7 @@ def build_griphon_testbed(
         tracing=tracing,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        osnr_model=osnr_model,
     )
     inv = net.inventory
     for node in TESTBED_ROADMS:
@@ -279,6 +385,7 @@ def build_griphon_backbone(
     regens_per_hub: int = 6,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    osnr_model: Optional[OsnrModel] = None,
 ) -> GriphonNetwork:
     """Build the synthetic 12-city backbone with five data centers."""
     net = GriphonNetwork(
@@ -292,6 +399,7 @@ def build_griphon_backbone(
         tracing=tracing,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        osnr_model=osnr_model,
     )
     inv = net.inventory
     hubs = {"CHI", "STL", "DEN", "DFW", "ATL"}

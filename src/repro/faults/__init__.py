@@ -19,7 +19,14 @@ from repro.faults.audit import (
     audit_inventory,
     audit_network,
 )
-from repro.faults.plan import FAULT_MODES, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    DEGRADATION_MODES,
+    DegradationPlan,
+    DegradationSpec,
+    FAULT_MODES,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.faults.resilient import CircuitBreaker, ResilientExecutor, RetryPolicy
 
 __all__ = [
@@ -27,6 +34,9 @@ __all__ = [
     "AuditViolation",
     "audit_inventory",
     "audit_network",
+    "DEGRADATION_MODES",
+    "DegradationPlan",
+    "DegradationSpec",
     "FAULT_MODES",
     "FaultPlan",
     "FaultSpec",

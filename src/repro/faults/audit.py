@@ -74,12 +74,17 @@ _RESOURCE_HOLDING_STATES = frozenset(
 
 def audit_network(controller) -> AuditReport:
     """Audit a controller's inventory against its connection table."""
-    return audit_inventory(controller.inventory, controller.connections)
+    return audit_inventory(
+        controller.inventory,
+        controller.connections,
+        amplifier_chains=controller.roadm_ems.amplifier_chains(),
+    )
 
 
 def audit_inventory(
     inventory: InventoryDatabase,
     connections: Optional[Mapping[str, Connection]] = None,
+    amplifier_chains: Optional[Mapping[tuple, object]] = None,
 ) -> AuditReport:
     """Cross-check inventory claims against hardware state.
 
@@ -88,6 +93,10 @@ def audit_inventory(
         connections: The controller's connection table; when given, FXC
             cross-connects, NTE interfaces, and OTN client ports must be
             owned by live (resource-holding) connections.
+        amplifier_chains: The EMS's live amplifier chains per link key;
+            when given, each chain's gain setting must match the
+            inventory-recorded target unless an *active* amp-flap
+            degradation on the link explains the deviation.
 
     Returns:
         An :class:`AuditReport`; ``report.ok`` is the chaos-test oracle.
@@ -99,6 +108,8 @@ def audit_inventory(
     _audit_otn_lines(inventory, report)
     if connections is not None:
         _audit_connection_resources(inventory, connections, report)
+    if amplifier_chains is not None:
+        _audit_amplifier_gains(inventory, amplifier_chains, report)
     return report
 
 
@@ -336,6 +347,52 @@ def _audit_otn_lines(inventory: InventoryDatabase, report: AuditReport) -> None:
                     detail="registered circuit holds no slots on its lines",
                 )
             )
+
+
+# -- amplifier gain settings --------------------------------------------------
+
+
+def _audit_amplifier_gains(
+    inventory: InventoryDatabase,
+    amplifier_chains: Mapping[tuple, object],
+    report: AuditReport,
+) -> None:
+    """Live EMS gain settings must match the inventory-recorded targets.
+
+    A deviation is legitimate only while an ``amp-flap:*`` degradation
+    is actively registered on the same link — that is the injector
+    telling the world the amp is flapping.  Any other mismatch means a
+    remediation or restore path forgot to reset the gain: exactly the
+    bug class that used to pass the audit silently.
+    """
+    for key in sorted(amplifier_chains):
+        chain = amplifier_chains[key]
+        report.checked += 1
+        recorded = inventory.recorded_amplifier_gain(key)
+        if recorded is None:
+            # Pre-SLO networks never recorded targets; nothing to check.
+            continue
+        live = chain.gain_db
+        if live == recorded:
+            continue
+        try:
+            dwdm = inventory.plant.dwdm_link(*key)
+            causes = dwdm.degradation_causes()
+        except Exception:
+            causes = []
+        if any(cause.startswith("amp-flap") for cause in causes):
+            continue
+        report.violations.append(
+            AuditViolation(
+                kind="amp-gain-mismatch",
+                resource=f"amplifier chain {key[0]}={key[1]}",
+                owner="",
+                detail=(
+                    f"live gain {live:.2f} dB != recorded "
+                    f"{recorded:.2f} dB with no active amp-flap"
+                ),
+            )
+        )
 
 
 # -- connection-scoped resources ---------------------------------------------

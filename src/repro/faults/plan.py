@@ -212,3 +212,190 @@ class FaultPlan:
     def __repr__(self) -> str:
         return f"FaultPlan({len(self._specs)} spec(s))"
 
+
+#: Gray-failure modes: signal degradation rather than outright failure.
+DEGRADATION_MODES = ("osnr-drift", "amp-flap", "attenuation-creep")
+
+
+@dataclass(frozen=True)
+class DegradationSpec:
+    """One gray-failure rule against a fiber link.
+
+    Unlike a :class:`FaultSpec`, which trips EMS commands, a degradation
+    erodes the optical signal itself: the link stays up and keeps
+    carrying traffic while its OSNR margin shrinks.
+
+    Attributes:
+        link: ``"A=B"`` link name (node order is normalized).
+        mode: ``osnr-drift`` (linear ramp to ``magnitude_db``, then
+            hold), ``amp-flap`` (square-wave amplifier gain error of
+            ``magnitude_db`` with period ``period_s``), or
+            ``attenuation-creep`` (monotonic ``rate_db_per_hour`` climb
+            capped at ``magnitude_db``).
+        start_s: Sim time the degradation begins.
+        duration_s: How long it lasts; state is restored at the end.
+        magnitude_db: Peak OSNR penalty in dB.
+        period_s: Flap period for ``amp-flap`` (ignored otherwise).
+        rate_db_per_hour: Climb rate for ``attenuation-creep``.
+        jitter_db: Peak-to-peak deterministic noise added per tick, drawn
+            from the plan's seeded substream.
+    """
+
+    link: str
+    mode: str = "osnr-drift"
+    start_s: float = 0.0
+    duration_s: float = 3600.0
+    magnitude_db: float = 6.0
+    period_s: float = 120.0
+    rate_db_per_hour: float = 2.0
+    jitter_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in DEGRADATION_MODES:
+            raise ConfigurationError(
+                f"unknown degradation mode {self.mode!r} "
+                f"(known: {', '.join(DEGRADATION_MODES)})"
+            )
+        if "=" not in self.link:
+            raise ConfigurationError(
+                f"link must be 'A=B', got {self.link!r}"
+            )
+        if self.start_s < 0:
+            raise ConfigurationError(
+                f"start_s must be >= 0, got {self.start_s}"
+            )
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+        if self.magnitude_db <= 0:
+            raise ConfigurationError(
+                f"magnitude_db must be positive, got {self.magnitude_db}"
+            )
+        if self.period_s <= 0:
+            raise ConfigurationError(
+                f"period_s must be positive, got {self.period_s}"
+            )
+        if self.rate_db_per_hour <= 0:
+            raise ConfigurationError(
+                f"rate_db_per_hour must be positive, got {self.rate_db_per_hour}"
+            )
+        if self.jitter_db < 0:
+            raise ConfigurationError(
+                f"jitter_db must be >= 0, got {self.jitter_db}"
+            )
+
+    @property
+    def endpoints(self) -> "tuple[str, str]":
+        """The link's node pair in canonical (sorted) order."""
+        a, b = self.link.split("=", 1)
+        return (a, b) if a <= b else (b, a)
+
+    @property
+    def end_s(self) -> float:
+        """Sim time the degradation clears."""
+        return self.start_s + self.duration_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON plans (``griphon slo --plan``)."""
+        return {
+            "link": self.link,
+            "mode": self.mode,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "magnitude_db": self.magnitude_db,
+            "period_s": self.period_s,
+            "rate_db_per_hour": self.rate_db_per_hour,
+            "jitter_db": self.jitter_db,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DegradationSpec":
+        """Build a spec from its plain-dict form; unknown keys raise."""
+        known = {
+            "link", "mode", "start_s", "duration_s", "magnitude_db",
+            "period_s", "rate_db_per_hour", "jitter_db",
+        }
+        extra = set(data) - known
+        if extra:
+            raise ConfigurationError(
+                f"unknown DegradationSpec keys: {', '.join(sorted(extra))}"
+            )
+        return cls(**data)
+
+
+class DegradationPlan:
+    """An ordered set of gray-failure rules plus their seeded dice.
+
+    Bound to a ``streams.spawn("degradations")`` substream so per-tick
+    jitter is byte-identical across runs with the same master seed.  An
+    empty plan schedules nothing: attaching it to a network leaves the
+    event stream untouched.
+    """
+
+    def __init__(self, specs: Sequence[DegradationSpec] = ()) -> None:
+        self._specs: List[DegradationSpec] = list(specs)
+        self._streams: Optional[RandomStreams] = None
+
+    @property
+    def specs(self) -> List[DegradationSpec]:
+        """The plan's rules, in declaration order."""
+        return list(self._specs)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan has no rules at all."""
+        return not self._specs
+
+    @property
+    def horizon_s(self) -> float:
+        """Sim time by which every degradation has cleared (0 if empty)."""
+        return max((spec.end_s for spec in self._specs), default=0.0)
+
+    def add(self, spec: DegradationSpec) -> "DegradationPlan":
+        """Append a rule (chaos scripting); returns self."""
+        self._specs.append(spec)
+        return self
+
+    def bind(self, streams: RandomStreams) -> "DegradationPlan":
+        """Attach the seeded dice; the injector calls this at start."""
+        self._streams = streams.spawn("degradations")
+        return self
+
+    def jitter(self, index: int, tick: int) -> float:
+        """Deterministic jitter for spec ``index`` at tick ``tick``.
+
+        Each (spec, tick) pair draws exactly once from the spec's named
+        substream, so replaying the plan reproduces the same noise and
+        adding a rule never perturbs another rule's sequence.
+        """
+        spec = self._specs[index]
+        if spec.jitter_db == 0.0:
+            return 0.0
+        if self._streams is None:
+            raise ConfigurationError(
+                "DegradationPlan with jitter must be bound to RandomStreams "
+                "(plan.bind(streams)) before use"
+            )
+        half = spec.jitter_db / 2.0
+        return self._streams.uniform(f"degradation:{index}", -half, half)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON plans."""
+        return {"degradations": [spec.to_dict() for spec in self._specs]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DegradationPlan":
+        """Build a plan from its plain-dict form."""
+        specs = [
+            DegradationSpec.from_dict(item)
+            for item in data.get("degradations", [])
+        ]
+        return cls(specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __repr__(self) -> str:
+        return f"DegradationPlan({len(self._specs)} spec(s))"
+

@@ -21,6 +21,7 @@ from repro.frontend.aio import SimFuture, Task, gather, sleep
 from repro.frontend.clients import ClientFleet, FleetStats, teardown_active
 from repro.frontend.ratelimit import BucketSet, TokenBucket
 from repro.frontend.service import (
+    PRIORITY_CLASSES,
     STATE_OPEN,
     STATE_SHEDDING,
     BodFrontend,
@@ -36,6 +37,7 @@ __all__ = [
     "TokenBucket",
     "BodFrontend",
     "FrontendTicket",
+    "PRIORITY_CLASSES",
     "STATE_OPEN",
     "STATE_SHEDDING",
     "ClientFleet",

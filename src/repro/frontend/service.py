@@ -33,13 +33,20 @@ Every decision is counted: ``frontend.submitted`` equals
 ``frontend.admitted + frontend.shed + frontend.throttled`` at all times
 (the conservation law the property tests check), and admitted orders
 that reach service record the ``frontend.order_to_active_s`` histogram.
+
+Tenants named in ``premium_tenants`` ride the **premium** priority
+class: their orders are pumped before any standard order and are shed
+last (hysteresis shedding refuses only standard traffic; the hard
+capacity bound refuses everyone).  The conservation law holds per
+class too, over the ``frontend.*.premium`` / ``frontend.*.standard``
+counters.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from repro import api
 from repro.core.admission import AdmissionControl
@@ -56,6 +63,11 @@ from repro.sim.process import Process
 STATE_OPEN = "open"
 #: Backpressure state: shedding every new submission until drained.
 STATE_SHEDDING = "shedding"
+
+#: Priority classes, pump order.  Premium tenants are forwarded first
+#: and shed last: hysteresis shedding refuses only standard traffic;
+#: the hard capacity bound still refuses everyone.
+PRIORITY_CLASSES = ("premium", "standard")
 
 
 class FrontendTicket:
@@ -88,6 +100,7 @@ class FrontendTicket:
         "submitted_at",
         "future",
         "order_ticket",
+        "priority",
     )
 
     def __init__(
@@ -100,6 +113,7 @@ class FrontendTicket:
         kind: Optional[ConnectionKind],
         submitted_at: float,
         future: SimFuture,
+        priority: str = "standard",
     ) -> None:
         self.request_id = request_id
         self.tenant = tenant
@@ -109,6 +123,7 @@ class FrontendTicket:
         self.kind = kind
         self.submitted_at = submitted_at
         self.future = future
+        self.priority = priority
         self.order_ticket: Optional[OrderTicket] = None
 
     @property
@@ -151,6 +166,8 @@ class BodFrontend:
         bucket_burst: Default per-tenant burst allowance.
         pump_interval: Sim seconds between pump passes while the intake
             is full.
+        premium_tenants: Tenants whose submissions ride the premium
+            priority class (pumped first, shed last).
     """
 
     def __init__(
@@ -166,6 +183,7 @@ class BodFrontend:
         bucket_rate: float = 1.0,
         bucket_burst: float = 8.0,
         pump_interval: float = 0.05,
+        premium_tenants: Iterable[str] = (),
     ) -> None:
         if queue_capacity < 1:
             raise ConfigurationError(
@@ -194,7 +212,12 @@ class BodFrontend:
         self._shed_low = shed_low
         self._pump_interval = float(pump_interval)
         self._buckets = BucketSet(bucket_rate, bucket_burst)
-        self._queue: Deque[FrontendTicket] = deque()
+        self._premium = frozenset(premium_tenants)
+        #: Two-level submission queue: the pump always drains premium
+        #: first; both levels share the single capacity bound.
+        self._queues: Dict[str, Deque[FrontendTicket]] = {
+            level: deque() for level in PRIORITY_CLASSES
+        }
         self._by_order: Dict[str, FrontendTicket] = {}
         self._listeners: List[Callable[[FrontendTicket, str], None]] = []
         self._state = STATE_OPEN
@@ -202,7 +225,11 @@ class BodFrontend:
         self._proc: Optional[Process] = None
         intake.add_listener(self._on_intake_event)
         self._metrics.register_gauge(
-            "frontend.queue_depth", lambda: len(self._queue)
+            "frontend.queue_depth", self.queue_depth
+        )
+        self._metrics.register_gauge(
+            "frontend.queue_depth.premium",
+            lambda: len(self._queues["premium"]),
         )
         self._metrics.register_gauge(
             "frontend.shedding", lambda: int(self._state == STATE_SHEDDING)
@@ -220,7 +247,11 @@ class BodFrontend:
 
     def queue_depth(self) -> int:
         """Admitted orders waiting to be forwarded to the intake."""
-        return len(self._queue)
+        return sum(len(q) for q in self._queues.values())
+
+    def priority_of(self, tenant: str) -> str:
+        """The priority class a tenant's submissions ride in."""
+        return "premium" if tenant in self._premium else "standard"
 
     @property
     def capacity(self) -> int:
@@ -261,6 +292,7 @@ class BodFrontend:
                 caller bug, not a load outcome.
         """
         now = self._sim.now
+        priority = self.priority_of(tenant)
         ticket = FrontendTicket(
             request_id=f"req-{next(self._seq)}",
             tenant=tenant,
@@ -270,8 +302,10 @@ class BodFrontend:
             kind=kind,
             submitted_at=now,
             future=SimFuture(self._sim),
+            priority=priority,
         )
         self._metrics.inc("frontend.submitted")
+        self._metrics.inc(f"frontend.submitted.{priority}")
         # Gate 1: the tenant's own request-rate budget.
         if not self._buckets.try_take(tenant, now):
             return self._reject(
@@ -289,16 +323,21 @@ class BodFrontend:
             )
         # Gate 3: backpressure.  The hysteresis keeps shedding until the
         # pump drains the backlog to shed_low; the capacity check is the
-        # hard bound underneath it.
-        if self._state == STATE_SHEDDING or len(self._queue) >= self._capacity:
+        # hard bound underneath it.  Premium traffic is shed last: it
+        # rides through hysteresis shedding and is refused only at the
+        # hard capacity bound.
+        depth = self.queue_depth()
+        shedding = self._state == STATE_SHEDDING and priority != "premium"
+        if shedding or depth >= self._capacity:
             return self._reject(
                 ticket,
                 api.REJECT_SHED,
-                f"service is shedding load ({len(self._queue)} queued)",
+                f"service is shedding load ({depth} queued)",
                 None,
             )
         self._metrics.inc("frontend.admitted")
-        self._queue.append(ticket)
+        self._metrics.inc(f"frontend.admitted.{priority}")
+        self._queues[priority].append(ticket)
         self._update_shed_state()
         self._ensure_pumping()
         self._emit(ticket, "admitted")
@@ -314,8 +353,10 @@ class BodFrontend:
         """Resolve a ticket with a typed edge refusal and count it."""
         if code == api.REJECT_SHED:
             self._metrics.inc("frontend.shed")
+            self._metrics.inc(f"frontend.shed.{ticket.priority}")
         else:
             self._metrics.inc("frontend.throttled")
+            self._metrics.inc(f"frontend.throttled.{ticket.priority}")
         if detail_counter is not None:
             self._metrics.inc(detail_counter)
         ticket.future.resolve(
@@ -333,7 +374,7 @@ class BodFrontend:
 
     def _update_shed_state(self) -> None:
         """Hysteresis: OPEN -> SHEDDING at shed_high, back at shed_low."""
-        depth = len(self._queue)
+        depth = self.queue_depth()
         if self._state == STATE_OPEN and depth >= self._shed_high:
             self._state = STATE_SHEDDING
             self._metrics.inc("frontend.shed_transitions")
@@ -353,11 +394,15 @@ class BodFrontend:
             )
 
     def _pump(self):
-        """Kernel process: forward queued orders while the intake has room."""
-        while self._queue:
+        """Kernel process: forward queued orders while the intake has
+        room, always draining the premium level first."""
+        while self.queue_depth():
             room = self._intake.capacity - self._intake.queue_depth()
-            while room > 0 and self._queue:
-                ticket = self._queue.popleft()
+            while room > 0 and self.queue_depth():
+                level = next(
+                    q for q in self._queues.values() if q
+                )
+                ticket = level.popleft()
                 order = self._intake.submit(
                     ticket.tenant,
                     ticket.premises_a,
@@ -374,7 +419,7 @@ class BodFrontend:
                     self._finish(ticket)
                 room -= 1
             self._update_shed_state()
-            if self._queue:
+            if self.queue_depth():
                 yield self._pump_interval
 
     # -- outcome streaming -----------------------------------------------------

@@ -20,5 +20,6 @@ per instrumentation point.  Enable it per network::
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.obs.windows import WindowedSeries
 
-__all__ = ["MetricsRegistry", "NULL_SPAN", "Span", "Tracer"]
+__all__ = ["MetricsRegistry", "NULL_SPAN", "Span", "Tracer", "WindowedSeries"]

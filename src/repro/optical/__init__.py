@@ -7,6 +7,7 @@ ride on:
 * :mod:`repro.optical.fiber` — per-link wavelength occupancy and failures;
 * :mod:`repro.optical.amplifier` — amplifier chains and power transients;
 * :mod:`repro.optical.impairments` — optical reach and regen placement;
+* :mod:`repro.optical.osnr` — OSNR margin arithmetic for gray failures;
 * :mod:`repro.optical.transponder` — tunable OTs and node-local pools;
 * :mod:`repro.optical.regen` — OEO regenerators;
 * :mod:`repro.optical.roadm` — colorless/non-directional ROADM nodes;
@@ -23,6 +24,7 @@ from repro.optical.impairments import ReachModel
 from repro.optical.lightpath import Lightpath, LightpathState
 from repro.optical.muxponder import LowSpeedMux, Muxponder
 from repro.optical.nte import NetworkTerminatingEquipment
+from repro.optical.osnr import OsnrModel
 from repro.optical.regen import Regenerator, RegenPool
 from repro.optical.roadm import Roadm
 from repro.optical.transponder import Transponder, TransponderPool
@@ -39,6 +41,7 @@ __all__ = [
     "LowSpeedMux",
     "Muxponder",
     "NetworkTerminatingEquipment",
+    "OsnrModel",
     "Regenerator",
     "RegenPool",
     "Roadm",

@@ -35,11 +35,17 @@ class AmplifierChain:
         span_km: Amplifier spacing.
     """
 
+    #: Default per-span gain target: exactly compensating an 80 km span
+    #: at 0.25 dB/km.  The provisioned value is recorded in inventory so
+    #: the invariant auditor can cross-check the live setting.
+    DEFAULT_GAIN_DB = 20.0
+
     def __init__(
         self,
         length_km: float,
         span_km: float = DEFAULT_SPAN_KM,
         settle_per_amp_s: float = DEFAULT_SETTLE_PER_AMP_S,
+        target_gain_db: float = DEFAULT_GAIN_DB,
     ) -> None:
         if length_km <= 0:
             raise ConfigurationError(f"length must be positive, got {length_km}")
@@ -52,6 +58,24 @@ class AmplifierChain:
         self.length_km = length_km
         self.span_km = span_km
         self._settle_per_amp_s = settle_per_amp_s
+        #: The provisioned (inventory-recorded) per-amp gain setting.
+        self.target_gain_db = target_gain_db
+        #: The live gain setting, mutated by gray-failure injection and
+        #: restored by remediation; audited against the target.
+        self.gain_db = target_gain_db
+
+    def set_gain(self, gain_db: float) -> None:
+        """Set the live per-amp gain (gray-failure injection)."""
+        self.gain_db = gain_db
+
+    def reset_gain(self) -> None:
+        """Restore the live gain to the provisioned target."""
+        self.gain_db = self.target_gain_db
+
+    @property
+    def gain_error_db(self) -> float:
+        """Absolute deviation of the live gain from the target, in dB."""
+        return abs(self.gain_db - self.target_gain_db)
 
     @property
     def amplifier_count(self) -> int:

@@ -42,6 +42,11 @@ class DwdmLink:
         # path-wide intersection is a chain of integer ANDs.
         self._free_mask = (1 << grid.size) - 1
         self._failed = False
+        # Gray-failure state: OSNR penalties keyed by cause string (one
+        # entry per active degradation, e.g. "osnr-drift:2").  Unlike a
+        # cut, a degraded fiber still carries traffic — just with less
+        # margin — so this never touches occupancy or the failed flag.
+        self._degradations: Dict[str, float] = {}
 
     @property
     def link(self) -> Link:
@@ -128,6 +133,33 @@ class DwdmLink:
     def utilization(self) -> float:
         """Fraction of channels lit, in [0, 1]."""
         return len(self._owners) / self._grid.size
+
+    # -- gray-failure state ------------------------------------------------------
+
+    def set_degradation(self, cause: str, penalty_db: float) -> None:
+        """Record an OSNR penalty on this link attributed to ``cause``.
+
+        Raises:
+            ResourceError: if the penalty is negative.
+        """
+        if penalty_db < 0:
+            raise ResourceError(
+                f"degradation penalty must be >= 0, got {penalty_db}"
+            )
+        self._degradations[cause] = penalty_db
+
+    def clear_degradation(self, cause: str) -> None:
+        """Remove the penalty attributed to ``cause`` (idempotent)."""
+        self._degradations.pop(cause, None)
+
+    @property
+    def osnr_penalty_db(self) -> float:
+        """Total OSNR penalty from all active degradations, in dB."""
+        return sum(self._degradations.values())
+
+    def degradation_causes(self) -> List[str]:
+        """Active degradation causes, in insertion order."""
+        return list(self._degradations)
 
 
 class FiberPlant:
@@ -247,6 +279,18 @@ class FiberPlant:
     def failed_links(self) -> List[Tuple[str, str]]:
         """Keys of all currently failed links."""
         return [key for key, dwdm in self._links.items() if dwdm.failed]
+
+    def path_penalty_db(self, path: List[str]) -> float:
+        """Total gray-failure OSNR penalty along a node path, in dB."""
+        return sum(link.osnr_penalty_db for link in self.links_on_path(path))
+
+    def degraded_links(self) -> List[Tuple[str, str]]:
+        """Keys of all links carrying a nonzero OSNR penalty."""
+        return [
+            key
+            for key, dwdm in self._links.items()
+            if dwdm.osnr_penalty_db > 0.0
+        ]
 
     def occupancy_snapshot(self) -> Dict[Tuple[str, str], int]:
         """Occupied-channel bitmask per link, omitting fully dark links.

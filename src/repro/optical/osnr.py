@@ -103,6 +103,26 @@ class OsnrModel:
         """Whether a route of this length closes at this rate."""
         return self.osnr_db(total_km) >= self.required_osnr_db(rate_bps)
 
+    def margin_db(
+        self, total_km: float, rate_bps: float, penalty_db: float = 0.0
+    ) -> float:
+        """OSNR margin over the receiver requirement, in dB.
+
+        ``penalty_db`` is the extra impairment from gray failures
+        (amplifier gain error, drifting OSNR, creeping attenuation)
+        accumulated along the route; a negative result means the signal
+        no longer closes.
+        """
+        if penalty_db < 0:
+            raise ConfigurationError(
+                f"penalty must be >= 0, got {penalty_db}"
+            )
+        return (
+            self.osnr_db(total_km)
+            - penalty_db
+            - self.required_osnr_db(rate_bps)
+        )
+
     def max_reach_km(self, rate_bps: float) -> float:
         """The derived distance budget for a rate.
 

@@ -29,6 +29,8 @@ from repro.sweep.studies import (
     resolve_study,
     scaling_trial,
     scenario_trial,
+    slo_chaos_spec,
+    slo_trial,
     x10_scaling_spec,
     x9_availability_spec,
 )
@@ -51,6 +53,8 @@ __all__ = [
     "scaling_trial",
     "scenario_trial",
     "seed_table",
+    "slo_chaos_spec",
+    "slo_trial",
     "x10_scaling_spec",
     "x9_availability_spec",
 ]

@@ -370,6 +370,17 @@ def shard_plan_trial(trial: TrialSpec) -> TrialResult:
     return run_trial(trial)
 
 
+def slo_trial(trial: TrialSpec) -> TrialResult:
+    """One gray-failure remediation trial (see :mod:`repro.slo.bench`).
+
+    A module-level proxy so the registry entry pickles by reference,
+    mirroring :func:`shard_plan_trial`.
+    """
+    from repro.slo.bench import slo_trial as run_trial
+
+    return run_trial(trial)
+
+
 #: Study registry for JSON specs and the CLI.
 STUDIES: Dict[str, Callable[[TrialSpec], TrialResult]] = {
     "availability": availability_trial,
@@ -378,6 +389,7 @@ STUDIES: Dict[str, Callable[[TrialSpec], TrialResult]] = {
     "pipeline": pipeline_trial,
     "frontend": frontend_trial,
     "shard-plan": shard_plan_trial,
+    "slo": slo_trial,
 }
 
 
@@ -490,6 +502,30 @@ def frontend_load_spec(
         name="frontend-load",
         runner=frontend_trial,
         axes={"arrival_rate": tuple(arrival_rates)},
+        fixed=merged,
+        repeats=repeats,
+        base_seed=base_seed,
+    )
+
+
+def slo_chaos_spec(
+    repeats: int = 1,
+    base_seed: int = 1100,
+    horizon_s: float = 7200.0,
+    **fixed: Any,
+) -> SweepSpec:
+    """The SLO study: SLA-violation minutes with vs without remediation.
+
+    Grids the default gray-failure plan over the ``policy_on`` axis so
+    one sweep produces the policy-on/policy-off comparison behind
+    ``BENCH_slo.json``.
+    """
+    merged: Dict[str, Any] = {"horizon_s": horizon_s}
+    merged.update(fixed)
+    return SweepSpec(
+        name="slo-chaos",
+        runner=slo_trial,
+        axes={"policy_on": (True, False)},
         fixed=merged,
         repeats=repeats,
         base_seed=base_seed,

@@ -125,3 +125,45 @@ class TestCorruptionDetection:
         assert not report.ok
         text = str(report.violations[0])
         assert "ot-leak" in text and "LP:bogus" in text
+
+
+class TestAmplifierGainAudit:
+    """Cross-check of live amplifier gains against inventory records."""
+
+    def test_clean_network_gains_match_records(self):
+        net = build_griphon_testbed(seed=2)
+        report = audit_network(net.controller)
+        assert report.ok
+        key = ("ROADM-I", "ROADM-II")
+        recorded = net.inventory.recorded_amplifier_gain(key)
+        chain = net.controller.roadm_ems.amplifier_chains()[key]
+        assert recorded == chain.target_gain_db
+
+    def test_silent_gain_drift_is_a_mismatch(self):
+        net = build_griphon_testbed(seed=2)
+        chain = net.controller.roadm_ems.chain("ROADM-I", "ROADM-II")
+        chain.set_gain(chain.target_gain_db - 3.0)
+        report = audit_network(net.controller)
+        assert "amp-gain-mismatch" in kinds(report)
+
+    def test_active_amp_flap_excuses_the_deviation(self):
+        # While a declared amp-flap degradation is live on the link, the
+        # gain deviation is the *injected* failure, not a bookkeeping
+        # bug — the auditor must not double-report it.
+        net = build_griphon_testbed(seed=2)
+        chain = net.controller.roadm_ems.chain("ROADM-I", "ROADM-II")
+        chain.set_gain(chain.target_gain_db - 3.0)
+        link = net.inventory.plant.dwdm_link("ROADM-I", "ROADM-II")
+        link.set_degradation("amp-flap:0", 3.0)
+        assert audit_network(net.controller).ok
+        # Once the flap clears, a lingering deviation is a violation.
+        link.clear_degradation("amp-flap:0")
+        assert "amp-gain-mismatch" in kinds(audit_network(net.controller))
+
+    def test_reset_gain_clears_the_mismatch(self):
+        net = build_griphon_testbed(seed=2)
+        chain = net.controller.roadm_ems.chain("ROADM-I", "ROADM-II")
+        chain.set_gain(0.0)
+        assert not audit_network(net.controller).ok
+        chain.reset_gain()
+        assert audit_network(net.controller).ok

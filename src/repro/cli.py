@@ -192,6 +192,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import (
         SweepSpec,
         frontend_load_spec,
+        optimize_reclaim_spec,
         pipeline_load_spec,
         run_sweep,
         slo_chaos_spec,
@@ -211,6 +212,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec = shard_plan_spec(topology_seed=args.seed)
     elif args.study == "slo":
         spec = slo_chaos_spec(repeats=args.repeats)
+    elif args.study == "optimize":
+        spec = optimize_reclaim_spec(repeats=args.repeats)
     else:
         spec_data = json.loads(Path(args.study).read_text())
         spec = SweepSpec.from_dict(spec_data)
@@ -368,6 +371,58 @@ def cmd_slo(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote slo report to {args.json}")
     return 0 if result["audit_ok"] else 2
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """Fragment a backbone, then globally re-optimize it live."""
+    from repro.optimize.bench import run_optimize_trial
+
+    result = run_optimize_trial(
+        seed=args.seed,
+        node_count=args.nodes,
+        warm_orders=args.warm_orders,
+        load_orders=args.load_orders,
+        reoptimize=not args.no_reoptimize,
+        k_paths=args.k_paths,
+        max_passes=args.max_passes,
+    )
+    mode = "greedy baseline" if args.no_reoptimize else "re-optimized"
+    print(
+        f"optimize ({mode}): {result['survivors']} survivor(s) after "
+        f"{result['torn_down']} teardown(s) on {args.nodes} PoPs"
+    )
+    print(
+        f"  wavelengths in use: {result['wavelengths_fragmented']} "
+        f"fragmented -> {result['wavelengths_optimized']} "
+        f"({result['wavelengths_reclaimed']} reclaimed)"
+    )
+    if not args.no_reoptimize:
+        print(
+            f"  plan: {result['planned_moves']} move(s), "
+            f"{result['rewavelength_moves']} rewavelength-only, "
+            f"{result['planner_passes']} pass(es)"
+        )
+        print(
+            f"  executed: {result['moves_completed']} completed, "
+            f"{result['moves_stale']} stale, {result['moves_failed']} failed"
+        )
+        print(
+            f"  audit: "
+            f"{'CLEAN' if result['audit_violations'] == 0 else 'VIOLATIONS'}, "
+            f"dropped survivors: {result['dropped_survivors']}"
+        )
+    print(
+        f"  load ramp: {result['served']}/{result['load_orders']} served, "
+        f"blocking probability {result['blocking_probability']:.3f}"
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote optimize report to {args.json}")
+    clean = (
+        result.get("audit_violations", 0) == 0
+        and result["dropped_survivors"] == 0
+    )
+    return 0 if clean else 2
 
 
 def cmd_pipeline(args: argparse.Namespace) -> int:
@@ -640,8 +695,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "study",
-        help="built-in study (x9, x10, pipeline, frontend, shard, slo) or "
-        "path to a JSON sweep spec",
+        help="built-in study (x9, x10, pipeline, frontend, shard, slo, "
+        "optimize) or path to a JSON sweep spec",
     )
     sweep.add_argument(
         "--jobs", type=int, default=1,
@@ -719,6 +774,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="write the slo report to this file"
     )
     slo.set_defaults(func=cmd_slo)
+    opt = sub.add_parser(
+        "optimize",
+        help="fragment a backbone with churn, then globally re-optimize it",
+    )
+    opt.add_argument(
+        "--nodes", type=int, default=64,
+        help="generated backbone PoP count (default 64)",
+    )
+    opt.add_argument(
+        "--warm-orders", type=int, default=160,
+        help="orders placed before the churn phase (default 160)",
+    )
+    opt.add_argument(
+        "--load-orders", type=int, default=48,
+        help="fresh orders ramped in after optimization (default 48)",
+    )
+    opt.add_argument(
+        "--k-paths", type=int, default=4,
+        help="candidate routes per demand per planner pass (default 4)",
+    )
+    opt.add_argument(
+        "--max-passes", type=int, default=4,
+        help="planner repack passes (default 4)",
+    )
+    opt.add_argument(
+        "--no-reoptimize", action="store_true",
+        help="greedy baseline: skip the re-optimization cycle",
+    )
+    opt.add_argument(
+        "--json", default=None, help="write the optimize report to this file"
+    )
+    opt.set_defaults(func=cmd_optimize)
     pipe = sub.add_parser(
         "pipeline",
         help="submit a burst of concurrent orders through the intake queue",

@@ -32,6 +32,7 @@ from repro.errors import (
     ConfigurationError,
     EquipmentError,
     GriphonError,
+    MigrationLockedError,
     ResourceError,
 )
 from repro.faults.plan import FaultPlan
@@ -215,6 +216,10 @@ class GriphonController:
         self._evc_conn: Dict[str, str] = {}
         self._line_lightpath: Dict[str, str] = {}
         self._new_line_lightpaths: List[Lightpath] = []
+        #: Per-connection migration locks: connection_id -> holder tag.
+        #: Serializes lock-aware migration drivers (re-grooming, the
+        #: global re-optimization executor) on the same connection.
+        self._migration_locks: Dict[str, str] = {}
         inventory.plant.on_failure.append(self._handle_link_failure)
         #: Observers called with (event_name, payload) for metrics.
         self.observers: List[Callable[[str, dict], None]] = []
@@ -618,29 +623,94 @@ class GriphonController:
 
     # -- bridge-and-roll ------------------------------------------------------------
 
+    def lock_migration(self, connection_id: str, holder: str) -> bool:
+        """Try to take the per-connection migration lock for ``holder``.
+
+        Returns True when the lock was free (or already held by the same
+        holder — acquisition is idempotent per holder).  The lock only
+        arbitrates between cooperating migration drivers; it does not
+        block teardown, restoration, or lock-oblivious bridge-and-roll
+        callers, whose races the roll-time abort guards already settle.
+        """
+        current = self._migration_locks.get(connection_id)
+        if current is not None and current != holder:
+            return False
+        self._migration_locks[connection_id] = holder
+        return True
+
+    def unlock_migration(self, connection_id: str, holder: str) -> None:
+        """Release the migration lock if (and only if) ``holder`` owns it."""
+        if self._migration_locks.get(connection_id) == holder:
+            del self._migration_locks[connection_id]
+
+    def migration_lock_holder(self, connection_id: str) -> Optional[str]:
+        """The current migration-lock holder, or None when unlocked."""
+        return self._migration_locks.get(connection_id)
+
     def bridge_and_roll(
         self,
         connection_id: str,
         exclude_links: Tuple = (),
         on_done: Optional[Callable[[dict], None]] = None,
+        plan=None,
+        lock_holder: Optional[str] = None,
+        on_settled: Optional[Callable[[dict], None]] = None,
     ) -> Process:
-        """Migrate a live wavelength connection to a disjoint path.
+        """Migrate a live wavelength connection to a new path.
 
         Sets up a full new wavelength path (the bridge) while the original
         carries traffic, then rolls traffic across with only a ~50 ms hit,
-        then releases the old path.  The new path must be resource-
-        disjoint from the old one (paper §2.2).
+        then releases the old path.  By default the controller plans the
+        bridge itself and requires it to be resource-disjoint from the old
+        path (paper §2.2).  A precomputed ``plan`` (an
+        :class:`~repro.core.rwa.RwaPlan`) overrides that: the bridge is
+        claimed exactly as given — the global re-optimizer uses this to
+        steer a connection onto a specific route and wavelength, including
+        a rewavelength move on the *same* route (legal because the target
+        channels are disjoint from every currently occupied channel, the
+        connection's own included, for the bridge-before-release window).
+
+        ``lock_holder`` identifies a cooperating migration driver: the
+        per-connection migration lock is taken for the whole move and
+        released on every exit path.  ``on_settled`` fires exactly once
+        when the move settles, with ``{"connection_id", "outcome"}``
+        (outcome ``"completed"`` or ``"aborted"``) — unlike ``on_done``,
+        which only fires on completion.
 
         Returns the driving :class:`Process`; ``on_done`` receives a
         summary dict with ``bridge_s``, ``hit_s``, and the new path.
 
         Raises:
+            MigrationLockedError: when ``lock_holder`` is given and the
+                lock is held by another driver.
             ResourceError: if the connection is not an UP wavelength
                 connection with exactly one lightpath.
             NoPathError / WavelengthBlockedError: if no disjoint bridge
-                can be planned or claimed.
+                can be planned, or the (given) plan cannot be claimed.
         """
         connection = self.connection(connection_id)
+        if lock_holder is not None and not self.lock_migration(
+            connection_id, lock_holder
+        ):
+            raise MigrationLockedError(
+                f"connection {connection_id!r} is mid-migration (lock held "
+                f"by {self._migration_locks[connection_id]!r})"
+            )
+        try:
+            return self._start_bridge_and_roll(
+                connection, exclude_links, on_done, plan, lock_holder,
+                on_settled,
+            )
+        except BaseException:
+            if lock_holder is not None:
+                self.unlock_migration(connection_id, lock_holder)
+            raise
+
+    def _start_bridge_and_roll(
+        self, connection, exclude_links, on_done, plan, lock_holder, on_settled
+    ) -> Process:
+        """Validate, plan/claim, and spawn the roll workflow (lock held)."""
+        connection_id = connection.connection_id
         if connection.state is not ConnectionState.UP:
             raise ResourceError(
                 f"{connection_id} is {connection.state.value}; bridge-and-roll "
@@ -658,15 +728,16 @@ class GriphonController:
             connection=connection_id,
         )
         try:
-            with span.child("roll.plan") as plan_span:
-                plan = self.rwa.plan(
-                    old.source,
-                    old.destination,
-                    old.rate_bps,
-                    excluded_links=exclude_links,
-                    avoid_srlgs_of=old.path,
-                    parent_span=plan_span,
-                )
+            if plan is None:
+                with span.child("roll.plan") as plan_span:
+                    plan = self.rwa.plan(
+                        old.source,
+                        old.destination,
+                        old.rate_bps,
+                        excluded_links=exclude_links,
+                        avoid_srlgs_of=old.path,
+                        parent_span=plan_span,
+                    )
             with span.child("roll.claim"):
                 bridge = self.provisioner.claim(plan)
         except GriphonError:
@@ -675,7 +746,10 @@ class GriphonController:
             raise
         return Process(
             self.sim,
-            self._bridge_and_roll_workflow(connection, old, bridge, on_done, span),
+            self._bridge_and_roll_workflow(
+                connection, old, bridge, on_done, span,
+                lock_holder=lock_holder, on_settled=on_settled,
+            ),
             label=f"bridge-roll:{connection_id}",
         )
 
@@ -1023,11 +1097,29 @@ class GriphonController:
         self.metrics.observe("connection.teardown_s", self.sim.now - started)
         self._notify("released", {"connection": connection})
 
-    def _bridge_and_roll_workflow(self, connection, old, bridge, on_done, span=None):
+    def _bridge_and_roll_workflow(
+        self, connection, old, bridge, on_done, span=None,
+        lock_holder=None, on_settled=None,
+    ):
         if span is None:
             span = self.tracer.span(
                 "bridge_and_roll", connection=connection.connection_id
             )
+
+        def settle(outcome: str, summary: Optional[dict] = None) -> None:
+            # Release the migration lock before notifying, so a settle
+            # callback can immediately start the connection's next move.
+            if lock_holder is not None:
+                self.unlock_migration(connection.connection_id, lock_holder)
+            if on_settled is not None:
+                payload = {
+                    "connection_id": connection.connection_id,
+                    "outcome": outcome,
+                }
+                if summary:
+                    payload.update(summary)
+                on_settled(payload)
+
         bridge_started = self.sim.now
         # Bridge: bring the new path up while the old one carries traffic.
         yield from self.provisioner.setup_workflow(
@@ -1057,6 +1149,7 @@ class GriphonController:
                 "bridge-and-roll-aborted",
                 {"connection_id": connection.connection_id},
             )
+            settle("aborted")
             return
         # Roll: steer the FXCs to the new transponders.  Traffic takes a
         # brief hit while the client signal moves.
@@ -1083,6 +1176,7 @@ class GriphonController:
                 "bridge-and-roll-aborted",
                 {"connection_id": connection.connection_id},
             )
+            settle("aborted")
             return
         connection.lightpath_ids = [bridge.lightpath_id]
         self._lightpath_conn.pop(old.lightpath_id, None)
@@ -1104,6 +1198,7 @@ class GriphonController:
         self._notify("bridge-and-roll", summary)
         if on_done is not None:
             on_done(summary)
+        settle("completed", summary)
 
     # -- order decomposition --------------------------------------------------------
 

@@ -90,6 +90,12 @@ class RegroomingEngine:
                 continue
             if len(connection.lightpath_ids) != 1 or connection.circuit_ids:
                 continue
+            if controller.migration_lock_holder(connection.connection_id):
+                # Another migration driver (the global re-optimization
+                # executor, or an earlier pass of this engine) already
+                # owns this connection's move — don't plan against a
+                # route that is about to change under us.
+                continue
             lightpath = controller.inventory.lightpaths.get(
                 connection.lightpath_ids[0]
             )
@@ -130,6 +136,12 @@ class RegroomingEngine:
         Migrations run as bridge-and-roll processes on the simulator;
         call ``sim.run()`` afterwards to let them complete.  The report's
         ``migrated`` list is filled in as each migration lands.
+
+        Every migration holds the connection's migration lock under the
+        ``"regrooming"`` holder tag, so this engine and the global
+        re-optimization executor cannot roll the same connection
+        concurrently; a connection locked between :meth:`scan` and the
+        roll is recorded as a failure instead of racing.
         """
         report = RegroomReport()
         report.scanned = sum(
@@ -143,8 +155,11 @@ class RegroomingEngine:
             to_migrate = to_migrate[:max_migrations]
         pending = {"count": len(to_migrate)}
 
-        def finished(summary: dict) -> None:
-            report.migrated.append(summary["connection_id"])
+        def settled(result: dict) -> None:
+            if result["outcome"] == "completed":
+                report.migrated.append(result["connection_id"])
+            else:
+                report.failures[result["connection_id"]] = "aborted"
             pending["count"] -= 1
             if pending["count"] == 0 and on_done is not None:
                 on_done(report)
@@ -152,7 +167,9 @@ class RegroomingEngine:
         for candidate in to_migrate:
             try:
                 self._controller.bridge_and_roll(
-                    candidate.connection_id, on_done=finished
+                    candidate.connection_id,
+                    lock_holder="regrooming",
+                    on_settled=settled,
                 )
             except GriphonError as exc:
                 report.failures[candidate.connection_id] = str(exc)

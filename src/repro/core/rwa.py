@@ -238,6 +238,16 @@ class RwaEngine:
         """The candidate-route cache, or ``None`` when caching is disabled."""
         return self._cache
 
+    @property
+    def reach_model(self) -> ReachModel:
+        """The optical reach model the engine segments routes with.
+
+        Exposed so the re-optimization snapshot can segment candidate
+        routes exactly the way :meth:`plan` and :meth:`plan_explicit`
+        will.
+        """
+        return self._reach
+
     def plan(
         self,
         source: str,
@@ -359,6 +369,66 @@ class RwaEngine:
                 )
                 span.finish()
         return items
+
+    def plan_explicit(
+        self,
+        path: Sequence[str],
+        channels: Sequence[int],
+        rate_bps: float,
+    ) -> RwaPlan:
+        """Build a plan for an explicit route and per-segment channels.
+
+        The global re-optimizer's entry into the claim machinery: a
+        :class:`~repro.optimize.planner.MigrationMove` already names the
+        exact route and wavelength per regen-free segment, and the
+        migration executor realizes it by handing the resulting plan to
+        ``bridge_and_roll(plan=...)``.  The route is segmented with the
+        engine's own reach model (so the segmentation matches what
+        :meth:`plan` would produce for the same route), and each
+        requested channel is validated to be currently free along its
+        whole segment.
+
+        Args:
+            path: Node route from source to destination ROADM.
+            channels: One channel per regen-free segment, in path order.
+            rate_bps: Line rate of the wavelength.
+
+        Raises:
+            ConfigurationError: for a malformed path or a channel count
+                that does not match the route's regen segmentation.
+            NoPathError: when the route crosses a failed link.
+            WavelengthBlockedError: when a requested channel is not free
+                on every link of its segment.
+        """
+        path = list(path)
+        if len(path) < 2:
+            raise ConfigurationError("explicit path needs >= 2 nodes")
+        graph = self._inventory.graph
+        graph.links_on_path(path)  # raises TopologyError on a bad route
+        if not self._inventory.plant.path_is_up(path):
+            raise NoPathError(f"explicit route {' - '.join(path)} is failed")
+        regen_sites = self._reach.regen_sites(graph, path, rate_bps)
+        boundaries = [path[0]] + regen_sites + [path[-1]]
+        position = {node: index for index, node in enumerate(path)}
+        indices = [position[b] for b in boundaries]
+        segment_nodes = [
+            path[start : end + 1] for start, end in zip(indices, indices[1:])
+        ]
+        if len(channels) != len(segment_nodes):
+            raise ConfigurationError(
+                f"route {' - '.join(path)} has {len(segment_nodes)} regen "
+                f"segment(s); got {len(channels)} channel(s)"
+            )
+        segments = []
+        for nodes, channel in zip(segment_nodes, channels):
+            free = self._inventory.plant.common_free_channels(nodes)
+            if channel not in free:
+                raise WavelengthBlockedError(
+                    f"channel {channel} is not free on the whole segment "
+                    f"{' - '.join(nodes)}"
+                )
+            segments.append(Segment(list(nodes), int(channel)))
+        return RwaPlan(path, segments, list(regen_sites), rate_bps)
 
     def _contention_only(
         self,

@@ -32,6 +32,18 @@ class TransponderUnavailableError(ResourceError):
     """No free optical transponder (or regenerator) at a required node."""
 
 
+class MigrationLockedError(ResourceError):
+    """The connection is already mid-migration under another holder.
+
+    Raised by :meth:`GriphonController.bridge_and_roll` when a caller
+    that identifies itself with ``lock_holder`` (the re-grooming engine,
+    the global re-optimization executor) finds the per-connection
+    migration lock held by someone else.  Lock-oblivious callers are
+    unaffected — the roll-time abort guards still arbitrate races for
+    them.
+    """
+
+
 class CapacityExceededError(ResourceError):
     """A link, port, or multiplexing structure has no remaining capacity."""
 

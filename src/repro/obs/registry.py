@@ -70,6 +70,16 @@ class MetricsRegistry:
         """Register a pull-style gauge sampled at snapshot time."""
         self._gauges[name] = fn
 
+    def set_gauge(self, name: str, value: Any) -> None:
+        """Set a constant-valued gauge (push style).
+
+        For run-scoped results computed once — e.g. the wavelength count
+        a re-optimization cycle reclaimed — where a pull callable would
+        just close over a number anyway.  Setting the same name again
+        replaces the value.
+        """
+        self._gauges[name] = lambda: value
+
     def gauge(self, name: str) -> Any:
         """Sample one gauge now.
 

@@ -1,0 +1,342 @@
+"""Executing a migration plan without ever dropping traffic.
+
+The executor is a callback-driven sequential state machine riding the
+simulator: each move is a bridge-and-roll (new path lit before old path
+released), so a connection is never dark — the worst a move costs is
+the ~50 ms roll hit.  Running moves one at a time in plan order
+trivially honors the plan's wavelength-availability dependencies: a
+move that lights slots an earlier move releases always runs after it.
+
+Safety layers, in order of engagement:
+
+* **Stale check** — before each move the connection's live assignment
+  must still equal ``move.old_*``; anything else (re-groomed, repaired,
+  torn down since the snapshot) skips the move as ``stale``.
+* **Migration lock** — every roll holds the per-connection migration
+  lock under this run's holder tag, so the re-grooming engine cannot
+  race the executor on the same connection.
+* **Audit** — after every completed move the invariant auditor sweeps
+  the whole network; violations stop the run (and trigger rollback when
+  enabled), because continuing to migrate on top of corrupted state
+  only spreads the corruption.
+* **Saga rollback** — a failed move (synchronous planning error or an
+  aborted roll) unwinds every *completed* move in reverse order, each
+  unwind itself a bridge-and-roll back to ``move.old_*``.  Reverse
+  order guarantees slot availability: undoing move *k* frees exactly
+  the slots move *k-1*'s undo may need.  A roll abort keeps the old
+  path carrying traffic, so even mid-rollback nothing drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.connection import ConnectionState
+from repro.errors import GriphonError
+from repro.faults.audit import audit_network
+from repro.optimize.planner import MigrationMove, MigrationPlan
+
+
+@dataclass
+class MoveResult:
+    """Outcome of one move (or its rollback).
+
+    ``outcome`` is one of ``completed``, ``stale``, ``failed``,
+    ``rolled-back``, ``rollback-failed``, ``skipped``.
+    """
+
+    move: MigrationMove
+    outcome: str
+    detail: str = ""
+
+
+@dataclass
+class MigrationReport:
+    """What happened when a plan executed."""
+
+    results: List[MoveResult] = field(default_factory=list)
+    completed: int = 0
+    stale: int = 0
+    failed: int = 0
+    rolled_back: int = 0
+    audit_failures: List[str] = field(default_factory=list)
+    dropped_connections: List[str] = field(default_factory=list)
+    rollback_triggered: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when every move landed with no audits tripped."""
+        return (
+            not self.rollback_triggered
+            and not self.audit_failures
+            and not self.dropped_connections
+            and self.failed == 0
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable summary."""
+        return {
+            "completed": self.completed,
+            "stale": self.stale,
+            "failed": self.failed,
+            "rolled_back": self.rolled_back,
+            "rollback_triggered": self.rollback_triggered,
+            "audit_failures": list(self.audit_failures),
+            "dropped_connections": list(self.dropped_connections),
+            "outcomes": [
+                {
+                    "connection_id": r.move.connection_id,
+                    "outcome": r.outcome,
+                    "detail": r.detail,
+                }
+                for r in self.results
+            ],
+        }
+
+
+class MigrationExecutor:
+    """Runs a :class:`MigrationPlan` move by move on the live network."""
+
+    def __init__(
+        self,
+        controller,
+        holder: str = "optimize",
+        audit_each_move: bool = True,
+        rollback_on_failure: bool = True,
+    ) -> None:
+        self._controller = controller
+        self._holder = holder
+        self._audit_each_move = audit_each_move
+        self._rollback_on_failure = rollback_on_failure
+
+    # -- public API --------------------------------------------------------
+
+    def execute(
+        self,
+        plan: MigrationPlan,
+        on_done: Optional[Callable[[MigrationReport], None]] = None,
+    ) -> MigrationReport:
+        """Start executing ``plan``; returns the (live) report.
+
+        Moves run as simulator processes — call ``sim.run()`` afterwards
+        to drain them.  The report object returned is filled in as moves
+        settle; ``on_done`` fires once when the run (including any
+        rollback) finishes.
+        """
+        report = MigrationReport()
+        run = _ExecutionRun(
+            controller=self._controller,
+            holder=self._holder,
+            plan=plan,
+            report=report,
+            audit_each_move=self._audit_each_move,
+            rollback_on_failure=self._rollback_on_failure,
+            on_done=on_done,
+        )
+        run.step()
+        return report
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def holder(self) -> str:
+        """The migration-lock holder tag this executor rolls under."""
+        return self._holder
+
+
+class _ExecutionRun:
+    """State of one in-flight plan execution (forward + rollback)."""
+
+    def __init__(
+        self,
+        controller,
+        holder: str,
+        plan: MigrationPlan,
+        report: MigrationReport,
+        audit_each_move: bool,
+        rollback_on_failure: bool,
+        on_done: Optional[Callable[[MigrationReport], None]],
+    ) -> None:
+        self.controller = controller
+        self.holder = holder
+        self.plan = plan
+        self.report = report
+        self.audit_each_move = audit_each_move
+        self.rollback_on_failure = rollback_on_failure
+        self.on_done = on_done
+        self.cursor = 0
+        #: Moves that completed forward, for reverse-order unwinding.
+        self.completed_moves: List[MigrationMove] = []
+        self.mode = "forward"
+        self.unwind_cursor = 0
+        self.finished = False
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _current_assignment(self, connection_id: str):
+        """(path, channels) of the connection's live lightpath, or None."""
+        controller = self.controller
+        connection = controller.connections.get(connection_id)
+        if connection is None or connection.state is not ConnectionState.UP:
+            return None
+        if len(connection.lightpath_ids) != 1:
+            return None
+        lightpath = controller.inventory.lightpaths.get(
+            connection.lightpath_ids[0]
+        )
+        if lightpath is None:
+            return None
+        return tuple(lightpath.path), tuple(lightpath.channels)
+
+    def _roll(
+        self,
+        move: MigrationMove,
+        path,
+        channels,
+        settled: Callable[[dict], None],
+    ) -> bool:
+        """Start one bridge-and-roll; False on synchronous failure."""
+        controller = self.controller
+        try:
+            explicit = controller.rwa.plan_explicit(
+                list(path), list(channels), move.rate_bps
+            )
+            controller.bridge_and_roll(
+                move.connection_id,
+                plan=explicit,
+                lock_holder=self.holder,
+                on_settled=settled,
+            )
+        except GriphonError:
+            return False
+        return True
+
+    def _audit(self) -> bool:
+        """Run the invariant auditor; record violations.  True if clean."""
+        if not self.audit_each_move:
+            return True
+        audit = audit_network(self.controller)
+        if not audit.ok:
+            self.report.audit_failures.extend(
+                str(v) for v in audit.violations
+            )
+            return False
+        return True
+
+    def _finish(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        metrics = getattr(self.controller, "metrics", None)
+        # Touched connections must all still be carrying traffic.
+        touched = {m.connection_id for m in self.plan.moves}
+        for conn_id in sorted(touched):
+            connection = self.controller.connections.get(conn_id)
+            if connection is not None and connection.state not in (
+                ConnectionState.UP,
+                ConnectionState.RELEASED,
+            ):
+                self.report.dropped_connections.append(conn_id)
+        if metrics is not None:
+            metrics.inc("optimize.moves.completed", self.report.completed)
+            metrics.inc("optimize.moves.stale", self.report.stale)
+            metrics.inc("optimize.moves.failed", self.report.failed)
+            metrics.inc("optimize.moves.rolled_back", self.report.rolled_back)
+            if self.report.rollback_triggered:
+                metrics.inc("optimize.rollbacks")
+        if self.on_done is not None:
+            self.on_done(self.report)
+
+    # -- forward execution -------------------------------------------------
+
+    def step(self) -> None:
+        """Run the next forward move (or finish / start rollback)."""
+        if self.mode != "forward":
+            self.unwind_step()
+            return
+        plan_moves = self.plan.moves
+        while self.cursor < len(plan_moves):
+            move = plan_moves[self.cursor]
+            self.cursor += 1
+            live = self._current_assignment(move.connection_id)
+            if live != (move.old_path, move.old_channels):
+                self.report.results.append(
+                    MoveResult(move, "stale", f"live assignment {live}")
+                )
+                self.report.stale += 1
+                continue
+
+            def settled(result: dict, move=move) -> None:
+                self._forward_settled(move, result)
+
+            if self._roll(move, move.new_path, move.new_channels, settled):
+                return  # settled() continues the run
+            self.report.results.append(
+                MoveResult(move, "failed", "planning or claim failed")
+            )
+            self.report.failed += 1
+            self._begin_rollback()
+            return
+        self._finish()
+
+    def _forward_settled(self, move: MigrationMove, result: dict) -> None:
+        if result["outcome"] == "completed":
+            self.report.results.append(MoveResult(move, "completed"))
+            self.report.completed += 1
+            self.completed_moves.append(move)
+            if not self._audit():
+                self._begin_rollback()
+                return
+            self.step()
+            return
+        self.report.results.append(
+            MoveResult(move, "failed", "roll aborted")
+        )
+        self.report.failed += 1
+        self._begin_rollback()
+
+    # -- rollback ----------------------------------------------------------
+
+    def _begin_rollback(self) -> None:
+        if not self.rollback_on_failure or not self.completed_moves:
+            self._finish()
+            return
+        self.report.rollback_triggered = True
+        self.mode = "rollback"
+        self.unwind_cursor = len(self.completed_moves) - 1
+        self.unwind_step()
+
+    def unwind_step(self) -> None:
+        """Undo the next completed move (reverse plan order)."""
+        while self.unwind_cursor >= 0:
+            move = self.completed_moves[self.unwind_cursor]
+            self.unwind_cursor -= 1
+            live = self._current_assignment(move.connection_id)
+            if live != (move.new_path, move.new_channels):
+                self.report.results.append(
+                    MoveResult(
+                        move, "rollback-failed", f"live assignment {live}"
+                    )
+                )
+                continue
+
+            def settled(result: dict, move=move) -> None:
+                self._rollback_settled(move, result)
+
+            if self._roll(move, move.old_path, move.old_channels, settled):
+                return
+            self.report.results.append(
+                MoveResult(move, "rollback-failed", "planning or claim failed")
+            )
+        self._finish()
+
+    def _rollback_settled(self, move: MigrationMove, result: dict) -> None:
+        if result["outcome"] == "completed":
+            self.report.results.append(MoveResult(move, "rolled-back"))
+            self.report.rolled_back += 1
+        else:
+            self.report.results.append(
+                MoveResult(move, "rollback-failed", "roll aborted")
+            )
+        self.unwind_step()

@@ -27,7 +27,7 @@ chaos tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro import api
 from repro.core.connection import ConnectionState
@@ -92,6 +92,21 @@ class RemediationEngine:
     def phase_of(self, connection_id: str) -> str:
         """The engine's current phase for a connection."""
         return self._phase.get(connection_id, "watch")
+
+    def impacted_link_keys(self) -> Set[Tuple[str, str]]:
+        """Every link the engine is currently remediating around.
+
+        The union of the degraded link keys behind all in-flight
+        remediations (deferred, rerouting, rerouted, or escalated
+        connections).  This is the SLO breach stream's input to the
+        global re-optimization planner: these links carry an extra cost
+        penalty, so a re-planning cycle steers demands off them instead
+        of fighting the runbook engine for the same capacity.
+        """
+        links: Set[Tuple[str, str]] = set()
+        for impacted in self._impacted.values():
+            links.update(impacted)
+        return links
 
     # -- detect ---------------------------------------------------------------
 

@@ -24,6 +24,8 @@ from repro.sweep.studies import (
     build_waxman_network,
     frontend_load_spec,
     frontend_trial,
+    optimize_reclaim_spec,
+    optimize_trial,
     pipeline_load_spec,
     pipeline_trial,
     resolve_study,
@@ -45,6 +47,8 @@ __all__ = [
     "build_waxman_network",
     "frontend_load_spec",
     "frontend_trial",
+    "optimize_reclaim_spec",
+    "optimize_trial",
     "pipeline_load_spec",
     "pipeline_trial",
     "resolve_study",

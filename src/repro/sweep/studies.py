@@ -381,6 +381,17 @@ def slo_trial(trial: TrialSpec) -> TrialResult:
     return run_trial(trial)
 
 
+def optimize_trial(trial: TrialSpec) -> TrialResult:
+    """One re-optimization trial (see :mod:`repro.optimize.bench`).
+
+    A module-level proxy so the registry entry pickles by reference,
+    mirroring :func:`shard_plan_trial`.
+    """
+    from repro.optimize.bench import optimize_trial as run_trial
+
+    return run_trial(trial)
+
+
 #: Study registry for JSON specs and the CLI.
 STUDIES: Dict[str, Callable[[TrialSpec], TrialResult]] = {
     "availability": availability_trial,
@@ -390,6 +401,7 @@ STUDIES: Dict[str, Callable[[TrialSpec], TrialResult]] = {
     "frontend": frontend_trial,
     "shard-plan": shard_plan_trial,
     "slo": slo_trial,
+    "optimize": optimize_trial,
 }
 
 
@@ -502,6 +514,37 @@ def frontend_load_spec(
         name="frontend-load",
         runner=frontend_trial,
         axes={"arrival_rate": tuple(arrival_rates)},
+        fixed=merged,
+        repeats=repeats,
+        base_seed=base_seed,
+    )
+
+
+def optimize_reclaim_spec(
+    repeats: int = 1,
+    base_seed: int = 1200,
+    node_count: int = 64,
+    warm_orders: int = 160,
+    load_orders: int = 48,
+    **fixed: Any,
+) -> SweepSpec:
+    """The re-optimization study: repack vs greedy on a fragmented mesh.
+
+    Grids the fragmentation benchmark over the ``reoptimize`` axis so
+    one sweep produces the with/without comparison behind
+    ``BENCH_optimize.json``: wavelengths reclaimed and blocking
+    probability under the same post-churn load ramp.
+    """
+    merged: Dict[str, Any] = {
+        "node_count": node_count,
+        "warm_orders": warm_orders,
+        "load_orders": load_orders,
+    }
+    merged.update(fixed)
+    return SweepSpec(
+        name="optimize-reclaim",
+        runner=optimize_trial,
+        axes={"reoptimize": (True, False)},
         fixed=merged,
         repeats=repeats,
         base_seed=base_seed,
